@@ -1,0 +1,56 @@
+// Package repro_test hosts the top-level benchmark suite: one testing.B
+// benchmark per table and figure of the AdaFGL paper, each regenerating the
+// corresponding experiment at smoke scale through the bench harness, plus
+// micro-benchmarks of the hot substrate paths. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and use cmd/adafgl-bench for full-scale regeneration with printed tables.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchScale keeps testing.B iterations affordable while exercising the
+// complete pipeline of every experiment.
+func benchScale() bench.Scale {
+	return bench.Scale{
+		Factor: 0.08, Clients: 3, Rounds: 5, LocalEpochs: 1,
+		Runs: 1, AdaEpochs: 10, Correction: 3, Seed: 1,
+	}
+}
+
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	s := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunExperiment(id, s); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B)        { runExp(b, "table1") }
+func BenchmarkTable2Transductive(b *testing.B)        { runExp(b, "table2") }
+func BenchmarkTable3Inductive(b *testing.B)           { runExp(b, "table3") }
+func BenchmarkTable4TransductiveInject(b *testing.B)  { runExp(b, "table4") }
+func BenchmarkTable5InductiveInject(b *testing.B)     { runExp(b, "table5") }
+func BenchmarkTable6AblationHomophilous(b *testing.B) { runExp(b, "table6") }
+func BenchmarkTable7AblationHeterophilous(b *testing.B) {
+	runExp(b, "table7")
+}
+func BenchmarkTable8ParadigmComparison(b *testing.B) { runExp(b, "table8") }
+func BenchmarkFig2EmpiricalAnalysis(b *testing.B)    { runExp(b, "fig2") }
+func BenchmarkFig5TopologyHeterogeneity(b *testing.B) {
+	runExp(b, "fig5")
+}
+func BenchmarkFig6Sensitivity(b *testing.B)          { runExp(b, "fig6") }
+func BenchmarkFig7ClientHCS(b *testing.B)            { runExp(b, "fig7") }
+func BenchmarkFig8ConvergenceLarge(b *testing.B)     { runExp(b, "fig8") }
+func BenchmarkFig9ConvergenceSmall(b *testing.B)     { runExp(b, "fig9") }
+func BenchmarkFig10Sparsity(b *testing.B)            { runExp(b, "fig10") }
+func BenchmarkFig11SparseParticipation(b *testing.B) { runExp(b, "fig11") }

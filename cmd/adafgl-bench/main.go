@@ -1,0 +1,87 @@
+// Command adafgl-bench regenerates any table or figure of the AdaFGL paper's
+// evaluation section from the synthetic benchmark suite.
+//
+// Usage:
+//
+//	adafgl-bench -list
+//	adafgl-bench -exp table2 -factor 0.3 -rounds 30 -runs 3
+//	adafgl-bench -exp all -paper        # full protocol (slow on one CPU)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (table1..table8, fig2..fig11, or 'all')")
+		list    = flag.Bool("list", false, "list available experiments")
+		paper   = flag.Bool("paper", false, "use the paper-scale protocol (slow)")
+		factor  = flag.Float64("factor", 0, "dataset scale factor override")
+		clients = flag.Int("clients", 0, "client count override")
+		rounds  = flag.Int("rounds", 0, "federated rounds override")
+		epochs  = flag.Int("epochs", 0, "local epochs override")
+		runs    = flag.Int("runs", 0, "seeds per cell override")
+		seed    = flag.Int64("seed", 0, "base seed override")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Printf("%-8s %s\n", id, bench.Experiments[id].Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "missing -exp (try -list)")
+		os.Exit(2)
+	}
+
+	scale := bench.DefaultScale()
+	scale.Factor = 0.3
+	scale.Rounds = 30
+	scale.Runs = 3
+	if *paper {
+		scale = bench.PaperScale()
+	}
+	if *factor > 0 {
+		scale.Factor = *factor
+	}
+	if *clients > 0 {
+		scale.Clients = *clients
+	}
+	if *rounds > 0 {
+		scale.Rounds = *rounds
+	}
+	if *epochs > 0 {
+		scale.LocalEpochs = *epochs
+	}
+	if *runs > 0 {
+		scale.Runs = *runs
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		lines, err := bench.RunExperiment(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

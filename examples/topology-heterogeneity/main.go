@@ -1,0 +1,70 @@
+// Topology heterogeneity walkthrough: reproduce the paper's motivating
+// analysis (Fig. 2 / Fig. 7) on one graph. The example applies both data
+// simulation strategies, quantifies the per-client topology divergence that
+// defines the structure Non-iid challenge, and shows how AdaFGL's Homophily
+// Confidence Score tracks the injected topology per client.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/federated"
+	"repro/internal/models"
+	"repro/internal/partition"
+)
+
+func main() {
+	spec, err := datasets.ByName("Cora")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := datasets.GenerateScaled(spec, 0.5, 11)
+	const clients = 6
+
+	fmt.Println("== community split (Louvain): topology is consistent ==")
+	comm := partition.CommunitySplit(g.Clone(), clients, rand.New(rand.NewSource(1)))
+	printTopology(comm)
+
+	fmt.Println("\n== structure Non-iid split (Metis + injection): topology diverges ==")
+	noniid := partition.StructureNonIIDSplit(g.Clone(), clients, partition.DefaultNonIID(), rand.New(rand.NewSource(2)))
+	printTopology(noniid)
+	for i, inj := range noniid.Injected {
+		kind := "homophilous"
+		if inj < 0 {
+			kind = "heterophilous"
+		}
+		fmt.Printf("  client %d received %s injection\n", i, kind)
+	}
+
+	// AdaFGL on the divergent federation: HCS adapts per client.
+	cfg := models.DefaultConfig()
+	cfg.Hidden = 32
+	cfg.Dropout = 0
+	fed := federated.DefaultOptions()
+	fed.Rounds = 25
+	fed.LocalEpochs = 3
+
+	ada := core.New()
+	ada.Opt.Epochs = 60
+	res, err := ada.Run(noniid.Subgraphs, cfg, fed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAdaFGL weighted accuracy under structure Non-iid: %.3f\n", res.TestAcc)
+	fmt.Println("HCS vs true homophily per client (Fig. 7 view):")
+	for i, r := range ada.Reports {
+		fmt.Printf("  client %d: HCS %.2f | edge homophily %.2f | acc %.3f\n",
+			i, r.HCS, r.EdgeHomophily, r.TestAccuracy)
+	}
+}
+
+func printTopology(cd *partition.ClientData) {
+	for i, sub := range cd.Subgraphs {
+		fmt.Printf("  client %d: %4d nodes, homophily node %.3f edge %.3f, labels %v\n",
+			i, sub.N, sub.NodeHomophily(), sub.EdgeHomophily(), sub.LabelDistribution())
+	}
+}

@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Fig2 regenerates the empirical analysis of Fig. 2 on Cora with
+// s.Clients clients: (a) per-client label distributions, (b) per-client
+// topology distributions, (c) round-accuracy curves, (d) per-client accuracy.
+func Fig2(s Scale) ([]string, error) {
+	spec, err := datasets.ByName("Cora")
+	if err != nil {
+		return nil, err
+	}
+	g := datasets.GenerateScaled(spec, s.Factor, s.Seed)
+	comm := partition.CommunitySplit(g, s.Clients, partitionRNG(s.Seed))
+	noniid := partition.StructureNonIIDSplit(g.Clone(), s.Clients, partition.DefaultNonIID(), partitionRNG(s.Seed+1))
+
+	out := []string{"FIG 2(a): per-client label distributions (rows=clients, cols=classes)"}
+	describe := func(name string, cd *partition.ClientData) {
+		out = append(out, "  "+name)
+		for i, sub := range cd.Subgraphs {
+			out = append(out, fmt.Sprintf("   client %2d: %v", i, sub.LabelDistribution()))
+		}
+	}
+	describe("community split", comm)
+	describe("structure Non-iid split", noniid)
+
+	out = append(out, "", "FIG 2(b): per-client topology distributions (node/edge homophily)")
+	topo := func(name string, cd *partition.ClientData) {
+		out = append(out, "  "+name)
+		for i, sub := range cd.Subgraphs {
+			out = append(out, fmt.Sprintf("   client %2d: node %.3f edge %.3f", i, sub.NodeHomophily(), sub.EdgeHomophily()))
+		}
+	}
+	topo("community split", comm)
+	topo("structure Non-iid split", noniid)
+
+	out = append(out, "", "FIG 2(c): round-accuracy curves (every 5th round)")
+	curveMethods := []string{"GCN", "GloGNN", "FedGL", "FedSage+", "FED-PUB"}
+	for _, kind := range []SplitKind{Community, NonIID} {
+		out = append(out, "  "+kind.String())
+		for _, mn := range curveMethods {
+			c, err := RunCell("Cora", kind, mn, singleRun(s))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, fmt.Sprintf("   %-10s %s", mn, fmtCurve(c.Curve, 5)))
+		}
+	}
+
+	out = append(out, "", "FIG 2(d): per-client accuracy (GCN)")
+	for _, kind := range []SplitKind{Community, NonIID} {
+		c, err := RunCell("Cora", kind, "GCN", singleRun(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fmt.Sprintf("  %-10s %v", kind.String(), fmtClientAccs(c.PerClient)))
+	}
+	return out, nil
+}
+
+func singleRun(s Scale) Scale { s.Runs = 1; return s }
+
+func fmtClientAccs(a []float64) string {
+	out := ""
+	for i, v := range a {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.2f", v)
+	}
+	return out
+}
+
+// Fig5 regenerates the topology-heterogeneity sweep: accuracy vs injection
+// intensity (sampling ratio for random, budget for meta) on PubMed, Flickr
+// and Reddit.
+func Fig5(s Scale) ([]string, error) {
+	out := []string{"FIG 5: accuracy under varying topology heterogeneity"}
+	methods := []string{"FedSage+", "FED-PUB", "AdaFGL"}
+	ratios := []float64{0.1, 0.3, 0.5, 0.7}
+	for _, d := range []string{"PubMed", "Flickr", "Reddit"} {
+		out = append(out, "  "+d)
+		for _, mn := range methods {
+			row := fmt.Sprintf("   %-10s", mn)
+			for _, ratio := range ratios {
+				acc, err := injectionSweepCell(d, mn, ratio, false, s)
+				if err != nil {
+					return nil, err
+				}
+				row += fmt.Sprintf(" r%.1f=%.3f", ratio, acc)
+			}
+			for _, budget := range []float64{0.1, 0.2} {
+				acc, err := injectionSweepCell(d, mn, budget, true, s)
+				if err != nil {
+					return nil, err
+				}
+				row += fmt.Sprintf(" m%.1f=%.3f", budget, acc)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func injectionSweepCell(dataset, methodName string, intensity float64, meta bool, s Scale) (float64, error) {
+	spec, err := datasets.ByName(dataset)
+	if err != nil {
+		return 0, err
+	}
+	g := datasets.GenerateScaled(spec, s.Factor, s.Seed)
+	opt := partition.DefaultNonIID()
+	if meta {
+		opt.Meta = true
+		opt.MetaBudget = intensity
+	} else {
+		opt.SamplingRatio = intensity
+	}
+	cd := partition.StructureNonIIDSplit(g, s.Clients, opt, partitionRNG(s.Seed))
+	m, err := ResolveMethod(methodName, s)
+	if err != nil {
+		return 0, err
+	}
+	res, err := runOnce(m, cd.Subgraphs, s, s.Seed)
+	if err != nil {
+		return 0, err
+	}
+	return res.TestAcc, nil
+}
+
+// Fig6 regenerates the α/β sensitivity grids on one homophilous and one
+// heterophilous dataset under both splits.
+func Fig6(s Scale) ([]string, error) {
+	out := []string{"FIG 6: hyperparameter sensitivity (rows α, cols β; cells accuracy)"}
+	grid := []float64{0.1, 0.5, 0.9}
+	for _, d := range []string{"Cora", "Chameleon"} {
+		for _, kind := range []SplitKind{Community, NonIID} {
+			out = append(out, fmt.Sprintf("  %s — %s", d, kind))
+			subs, err := MakeSplit(d, kind, s, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, alpha := range grid {
+				row := fmt.Sprintf("   α=%.1f:", alpha)
+				for _, beta := range grid {
+					a := s.adaMethod()
+					a.Opt.Alpha = alpha
+					a.Opt.Beta = beta
+					res, err := runOnce(a, cloneSubs(subs), s, s.Seed)
+					if err != nil {
+						return nil, err
+					}
+					row += fmt.Sprintf(" β=%.1f→%.3f", beta, res.TestAcc)
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig7 regenerates the client-dependent HCS comparison: HCS vs true
+// subgraph homophily per client under both splits.
+func Fig7(s Scale) ([]string, error) {
+	out := []string{"FIG 7: per-client HCS vs subgraph edge homophily"}
+	for _, d := range []string{"Cora", "CiteSeer", "PubMed", "Chameleon", "Squirrel", "Actor"} {
+		for _, kind := range []SplitKind{Community, NonIID} {
+			subs, err := MakeSplit(d, kind, s, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			a := s.adaMethod()
+			if _, err := runOnce(a, subs, s, s.Seed); err != nil {
+				return nil, err
+			}
+			row := fmt.Sprintf("  %-10s %-12s", d, kind)
+			for _, r := range a.Reports {
+				row += fmt.Sprintf(" (hcs %.2f|homo %.2f)", r.HCS, r.EdgeHomophily)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// Fig8 regenerates the convergence curves on Penn94, Flickr and Reddit.
+func Fig8(s Scale) ([]string, error) {
+	return convergenceFigure("FIG 8: convergence curves", []string{"Penn94", "Flickr", "Reddit"}, s)
+}
+
+// Fig9 regenerates the convergence curves on the six smaller datasets.
+func Fig9(s Scale) ([]string, error) {
+	return convergenceFigure("FIG 9: convergence curves",
+		[]string{"Cora", "CiteSeer", "PubMed", "Chameleon", "Squirrel", "Actor"}, s)
+}
+
+func convergenceFigure(title string, dsets []string, s Scale) ([]string, error) {
+	out := []string{title + " (every 5th round)"}
+	methods := []string{"GCN", "GloGNN", "FED-PUB", "AdaFGL"}
+	for _, d := range dsets {
+		for _, kind := range []SplitKind{Community, NonIID} {
+			out = append(out, fmt.Sprintf("  %s — %s", d, kind))
+			for _, mn := range methods {
+				c, err := RunCell(d, kind, mn, singleRun(s))
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, fmt.Sprintf("   %-10s %s (final %.3f)", mn, fmtCurve(c.Curve, 5), c.Mean))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig10 regenerates the sparsity experiments on Computer: feature, edge and
+// label sparsity sweeps under both splits.
+func Fig10(s Scale) ([]string, error) {
+	out := []string{"FIG 10: sparsity robustness on Computer"}
+	methods := []string{"FedSage+", "FED-PUB", "AdaFGL"}
+	levels := []float64{0.2, 0.5, 0.8}
+	kinds := []SplitKind{Community, NonIID}
+	modes := []struct {
+		name  string
+		apply func(g *graph.Graph, frac float64, rng *rand.Rand)
+	}{
+		{"feature", func(g *graph.Graph, f float64, rng *rand.Rand) { partition.SparsifyFeatures(g, f, rng) }},
+		{"edge", func(g *graph.Graph, f float64, rng *rand.Rand) { g.RemoveEdgesRandom(f, rng) }},
+		{"label", func(g *graph.Graph, f float64, rng *rand.Rand) { partition.SparsifyLabels(g, f, rng) }},
+	}
+	for _, mode := range modes {
+		for _, kind := range kinds {
+			out = append(out, fmt.Sprintf("  %s sparsity — %s", mode.name, kind))
+			for _, mn := range methods {
+				row := fmt.Sprintf("   %-10s", mn)
+				for _, lvl := range levels {
+					subs, err := MakeSplit("Computer", kind, s, s.Seed)
+					if err != nil {
+						return nil, err
+					}
+					rng := rand.New(rand.NewSource(s.Seed + int64(lvl*100)))
+					for _, sub := range subs {
+						mode.apply(sub, lvl, rng)
+					}
+					m, err := ResolveMethod(mn, s)
+					if err != nil {
+						return nil, err
+					}
+					res, err := runOnce(m, subs, s, s.Seed)
+					if err != nil {
+						return nil, err
+					}
+					row += fmt.Sprintf(" %.1f→%.3f", lvl, res.TestAcc)
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig11 regenerates the sparse client-participation experiment with 20
+// clients on arxiv-year, Flickr and Reddit.
+func Fig11(s Scale) ([]string, error) {
+	out := []string{"FIG 11: accuracy vs participation ratio (20-client split)"}
+	s20 := s
+	s20.Clients = s.Clients * 2
+	methods := []string{"FedGL", "FedSage+", "FED-PUB", "AdaFGL"}
+	ratios := []float64{0.2, 0.5, 1.0}
+	for _, d := range []string{"arxiv-year", "Flickr", "Reddit"} {
+		for _, kind := range []SplitKind{Community, NonIID} {
+			out = append(out, fmt.Sprintf("  %s — %s", d, kind))
+			for _, mn := range methods {
+				row := fmt.Sprintf("   %-10s", mn)
+				for _, ratio := range ratios {
+					subs, err := MakeSplit(d, kind, s20, s.Seed)
+					if err != nil {
+						return nil, err
+					}
+					m, err := ResolveMethod(mn, s20)
+					if err != nil {
+						return nil, err
+					}
+					fo := s20.fedOpts(s.Seed)
+					fo.Participation = ratio
+					res, err := m.Run(subs, s20.cfg(), fo)
+					if err != nil {
+						return nil, err
+					}
+					row += fmt.Sprintf(" p%.1f=%.3f", ratio, res.TestAcc)
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}

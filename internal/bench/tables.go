@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/federated"
+	"repro/internal/graph"
+)
+
+// TransductiveDatasets lists the Table II columns in paper order.
+var TransductiveDatasets = []string{
+	"Cora", "CiteSeer", "PubMed", "Computer", "Physics",
+	"Chameleon", "Squirrel", "Actor", "Penn94", "arxiv-year",
+}
+
+// InductiveDatasets lists the Table III datasets.
+var InductiveDatasets = []string{"Flickr", "Reddit"}
+
+// MainMethods lists the Table II row methods in paper order.
+var MainMethods = []string{
+	"GCN", "GCNII", "GAMLP", "GGCN", "GloGNN", "GPRGNN",
+	"FedGL", "GCFL+", "FedSage+", "FED-PUB", "AdaFGL",
+}
+
+// InductiveMethods lists the Table III rows.
+var InductiveMethods = []string{"GCNII", "GloGNN", "FedGL", "GCFL+", "FedSage+", "FED-PUB", "AdaFGL"}
+
+// Table1 regenerates the dataset statistics table.
+func Table1(s Scale) ([]string, error) {
+	out := []string{"TABLE I: dataset statistics (synthetic, scaled)",
+		fmt.Sprintf("%-12s %8s %8s %8s %8s %8s %8s", "Dataset", "#Nodes", "#Edges", "#Feat", "#Class", "E.Homo", "target")}
+	for _, spec := range datasets.Registry {
+		g := datasets.GenerateScaled(spec, s.Factor, s.Seed)
+		st := g.Summary()
+		out = append(out, fmt.Sprintf("%-12s %8d %8d %8d %8d %8.3f %8.3f",
+			spec.Name, st.Nodes, st.Edges, st.Features, st.Classes, st.EdgeHomophily, spec.EdgeHomophily))
+	}
+	return out, nil
+}
+
+// accuracyTable renders one split block of Table II/III.
+func accuracyTable(title string, dsets, methods []string, kind SplitKind, s Scale) ([]string, error) {
+	out := []string{title}
+	header := fmt.Sprintf("%-10s", "Method")
+	for _, d := range dsets {
+		header += fmt.Sprintf(" %12s", d)
+	}
+	out = append(out, header)
+	cols := make([][]Cell, len(dsets)) // per dataset, per method
+	for di := range dsets {
+		cols[di] = make([]Cell, len(methods))
+	}
+	for mi, m := range methods {
+		for di, d := range dsets {
+			c, err := RunCell(d, kind, m, s)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", m, d, err)
+			}
+			cols[di][mi] = c
+		}
+	}
+	for mi, m := range methods {
+		row := fmt.Sprintf("%-10s", m)
+		for di := range dsets {
+			cellStr := fmtCell(cols[di][mi])
+			if isBest(cols[di], mi) {
+				cellStr = "*" + cellStr + "*"
+			}
+			row += fmt.Sprintf(" %12s", cellStr)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func isBest(col []Cell, mi int) bool {
+	for _, c := range col {
+		if c.Mean > col[mi].Mean {
+			return false
+		}
+	}
+	return true
+}
+
+// Table2 regenerates the transductive comparison (both splits).
+func Table2(s Scale) ([]string, error) {
+	return accuracyTableTwoSplits("TABLE II: transductive accuracy", TransductiveDatasets, MainMethods, s)
+}
+
+// Table3 regenerates the inductive comparison (both splits).
+func Table3(s Scale) ([]string, error) {
+	return accuracyTableTwoSplits("TABLE III: inductive accuracy", InductiveDatasets, InductiveMethods, s)
+}
+
+func accuracyTableTwoSplits(title string, dsets, methods []string, s Scale) ([]string, error) {
+	out := []string{}
+	a, err := accuracyTable(title+" — community split", dsets, methods, Community, s)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, a...)
+	b, err := accuracyTable(title+" — structure Non-iid split", dsets, methods, NonIID, s)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, "")
+	return append(out, b...), nil
+}
+
+// injectionTable powers Tables IV and V: random vs meta injection.
+func injectionTable(title string, dsets []string, methods []string, s Scale) ([]string, error) {
+	out := []string{title, fmt.Sprintf("%-10s %s", "Method", func() string {
+		h := ""
+		for _, d := range dsets {
+			h += fmt.Sprintf(" %12s(R) %12s(M)", d, d)
+		}
+		return h
+	}())}
+	for _, m := range methods {
+		row := fmt.Sprintf("%-10s", m)
+		for _, d := range dsets {
+			r, err := RunCell(d, NonIID, m, s)
+			if err != nil {
+				return nil, err
+			}
+			mt, err := RunCell(d, NonIIDMeta, m, s)
+			if err != nil {
+				return nil, err
+			}
+			row += fmt.Sprintf(" %15s %15s", fmtCell(r), fmtCell(mt))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Table4Methods lists the rows of Tables IV/V.
+var Table4Methods = []string{"FedGL", "GCFL+", "FedSage+", "FED-PUB", "AdaFGL"}
+
+// Table4 regenerates the transductive injection comparison (Physics, Penn94).
+func Table4(s Scale) ([]string, error) {
+	return injectionTable("TABLE IV: transductive, random vs meta injection", []string{"Physics", "Penn94"}, Table4Methods, s)
+}
+
+// Table5 regenerates the inductive injection comparison (Flickr, Reddit).
+func Table5(s Scale) ([]string, error) {
+	return injectionTable("TABLE V: inductive, random vs meta injection", []string{"Flickr", "Reddit"}, Table4Methods, s)
+}
+
+// ablationCell runs AdaFGL with one component disabled.
+func ablationCell(dataset string, kind SplitKind, mod func(*core.Options), s Scale) (Cell, error) {
+	var accs []float64
+	var cell Cell
+	for r := 0; r < s.Runs; r++ {
+		seed := s.Seed + int64(r)*1000
+		subs, err := MakeSplit(dataset, kind, s, seed)
+		if err != nil {
+			return cell, err
+		}
+		a := s.adaMethod()
+		mod(&a.Opt)
+		res, err := a.Run(subs, s.cfg(), s.fedOpts(seed))
+		if err != nil {
+			return cell, err
+		}
+		accs = append(accs, res.TestAcc)
+	}
+	cell.Mean, cell.Std = meanStd(accs)
+	return cell, nil
+}
+
+// Ablations enumerates the component switches of Tables VI/VII.
+var Ablations = []struct {
+	Name string
+	Mod  func(*core.Options)
+}{
+	{"w/o K.P.", func(o *core.Options) { o.DisableKP = true }},
+	{"w/o T.F.", func(o *core.Options) { o.DisableTF = true }},
+	{"w/o L.M.", func(o *core.Options) { o.DisableLM = true }},
+	{"w/o L.T.", func(o *core.Options) { o.DisableLT = true }},
+	{"w/o HCS", func(o *core.Options) { o.DisableHCS = true }},
+	{"AdaFGL", func(o *core.Options) {}},
+}
+
+func ablationTable(title string, dsets []string, s Scale) ([]string, error) {
+	out := []string{title}
+	header := fmt.Sprintf("%-10s", "Component")
+	for _, d := range dsets {
+		header += fmt.Sprintf(" %10s-Com %9s-NIID", d, d)
+	}
+	out = append(out, header)
+	for _, ab := range Ablations {
+		row := fmt.Sprintf("%-10s", ab.Name)
+		for _, d := range dsets {
+			com, err := ablationCell(d, Community, ab.Mod, s)
+			if err != nil {
+				return nil, err
+			}
+			ni, err := ablationCell(d, NonIID, ab.Mod, s)
+			if err != nil {
+				return nil, err
+			}
+			row += fmt.Sprintf(" %14s %14s", fmtCell(com), fmtCell(ni))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Table6 regenerates the homophilous ablation study (Computer, Reddit).
+func Table6(s Scale) ([]string, error) {
+	return ablationTable("TABLE VI: ablation on homophilous datasets", []string{"Computer", "Reddit"}, s)
+}
+
+// Table7 regenerates the heterophilous ablation study (arxiv-year, Flickr).
+func Table7(s Scale) ([]string, error) {
+	return ablationTable("TABLE VII: ablation on heterophilous datasets", []string{"arxiv-year", "Flickr"}, s)
+}
+
+// Table3Inductive regenerates Table III under the paper's true inductive
+// protocol: each client trains on the subgraph induced over its non-test
+// nodes and is evaluated on the full subgraph (unseen nodes and edges
+// revealed at test time). Restricted to the methods whose evaluation path
+// supports parameter transplantation onto the full graph.
+func Table3Inductive(s Scale) ([]string, error) {
+	methods := []string{"GCNII", "GloGNN", "GCFL+", "FED-PUB", "AdaFGL"}
+	out := []string{"TABLE III (true inductive protocol): accuracy on unseen test nodes"}
+	for _, kind := range []SplitKind{Community, NonIID} {
+		out = append(out, "  "+kind.String())
+		for _, mn := range methods {
+			row := fmt.Sprintf("   %-10s", mn)
+			for _, d := range InductiveDatasets {
+				var accs []float64
+				for r := 0; r < s.Runs; r++ {
+					seed := s.Seed + int64(r)*1000
+					subs, err := MakeSplit(d, kind, s, seed)
+					if err != nil {
+						return nil, err
+					}
+					for i := range subs {
+						subs[i] = graph.MakeInductive(subs[i])
+					}
+					m, err := ResolveMethod(mn, s)
+					if err != nil {
+						return nil, err
+					}
+					res, err := m.Run(subs, s.cfg(), s.fedOpts(seed))
+					if err != nil {
+						return nil, err
+					}
+					accs = append(accs, res.TestAcc)
+				}
+				mean, std := meanStd(accs)
+				row += fmt.Sprintf(" %s=%5.1f±%.1f", d, mean*100, std*100)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// Table8 regenerates the paradigm comparison: the static taxonomy of
+// Sec. IV-D augmented with measured per-round communication volume.
+func Table8(s Scale) ([]string, error) {
+	subs, err := MakeSplit("Cora", Community, s, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rows := []struct {
+		name, typ, comm string
+	}{
+		{"FedGL", "FedC", "Model Param. + Node Pred. + Node Emb."},
+		{"GCFL+", "FedS", "Model Param. + Model Grad."},
+		{"FedSage+", "FedC", "Model Param. + Node Emb. + NeighGen Grad."},
+		{"FED-PUB", "FedC", "Model Param. + Model Mask"},
+		{"AdaFGL", "FedC", "Model Param. only"},
+	}
+	out := []string{"TABLE VIII: FGL paradigm comparison",
+		fmt.Sprintf("%-10s %-6s %-46s %14s", "Method", "Type", "Communication content", "bytes/round")}
+	for _, r := range rows {
+		m, err := ResolveMethod(r.name, s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.Run(cloneSubs(subs), s.cfg(), s.fedOpts(s.Seed))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fmt.Sprintf("%-10s %-6s %-46s %14d", r.name, r.typ, r.comm, res.BytesPerRound))
+	}
+	return out, nil
+}
+
+func cloneSubs(subs []*graph.Graph) []*graph.Graph {
+	out := make([]*graph.Graph, len(subs))
+	for i, g := range subs {
+		out[i] = g.Clone()
+	}
+	return out
+}
+
+// Sanity helper reused by figures: run one method once.
+func runOnce(m Method, subs []*graph.Graph, s Scale, seed int64) (*federated.Result, error) {
+	return m.Run(subs, s.cfg(), s.fedOpts(seed))
+}
+
+// partitionRNG builds the deterministic rng used by split generation in
+// figure runners that need direct partition control.
+func partitionRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed + 101)) }

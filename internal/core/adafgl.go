@@ -1,0 +1,413 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/federated"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/sparse"
+)
+
+// Options configures the AdaFGL pipeline; defaults follow Sec. IV-A.
+type Options struct {
+	// Alpha is the topology-optimisation coefficient of Eq. (5).
+	Alpha float64
+	// Beta is the propagation-rule residual of Eq. (11).
+	Beta float64
+	// K is the federated knowledge-guided smoothing depth of Eq. (7).
+	K int
+	// LPSteps and Kappa parameterise Non-param LP (Eq. 15; paper: K=5, κ=0.5).
+	LPSteps int
+	Kappa   float64
+	// MaskProb is the HCS masking probability (Definition 2; paper: 0.5).
+	MaskProb float64
+	// Epochs is the number of Step-2 personalized training epochs per client.
+	Epochs int
+	// ExtractorArch selects the Step-1 knowledge extractor architecture
+	// (any models.Registry name; the paper uses GCN but frames Step 1 as
+	// pluggable — "AdaFGL can benefit from advancements in FL optimization
+	// and GNNs to obtain a more powerful federated knowledge extractor").
+	ExtractorArch string
+
+	// Ablation switches (Tables VI/VII).
+	DisableKP  bool // knowledge preserving loss (Homo.)
+	DisableTF  bool // topology-independent feature embedding (Hete.)
+	DisableLM  bool // learnable message-passing embedding (Hete.)
+	DisableLT  bool // local topology optimisation (use raw Ã instead of P̃)
+	DisableHCS bool // adaptive combination (use fixed 0.5)
+}
+
+// DefaultOptions mirrors the paper's settings.
+func DefaultOptions() Options {
+	return Options{Alpha: 0.7, Beta: 0.7, K: 3, LPSteps: 5, Kappa: 0.5, MaskProb: 0.5, Epochs: 60, ExtractorArch: "GCN"}
+}
+
+// ClientReport captures the per-client diagnostics used by Figs. 2(d) and 7.
+type ClientReport struct {
+	HCS           float64
+	EdgeHomophily float64
+	TestAccuracy  float64
+}
+
+// AdaFGL is the two-step paradigm (implements the fgl.Method contract).
+type AdaFGL struct {
+	Opt Options
+	// Reports is filled by Run with per-client diagnostics of the last call.
+	Reports []ClientReport
+}
+
+// New returns AdaFGL with default options.
+func New() *AdaFGL { return &AdaFGL{Opt: DefaultOptions()} }
+
+// Name implements the method contract.
+func (a *AdaFGL) Name() string { return "AdaFGL" }
+
+// Run executes both steps: federated knowledge extraction (Alg. 1) and
+// adaptive personalized propagation (Alg. 2).
+func (a *AdaFGL) Run(subgraphs []*graph.Graph, cfg models.Config, fedOpt federated.Options) (*federated.Result, error) {
+	if len(subgraphs) == 0 {
+		return nil, fmt.Errorf("core: no subgraphs")
+	}
+	// ---- Step 1: federated knowledge extractor (FedAvg over the chosen
+	// architecture; GCN by default). ----
+	arch := a.Opt.ExtractorArch
+	if arch == "" {
+		arch = "GCN"
+	}
+	build, err := models.BuilderFor(arch)
+	if err != nil {
+		return nil, err
+	}
+	clients := federated.BuildClients(subgraphs, build, cfg, fedOpt.Seed)
+	srv := federated.NewServer(clients, fedOpt.Seed+1)
+	fedRes, err := srv.Run(fedOpt)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &federated.Result{
+		RoundAcc:      fedRes.RoundAcc,
+		GlobalParams:  fedRes.GlobalParams,
+		BytesPerRound: fedRes.BytesPerRound,
+	}
+	a.Reports = a.Reports[:0]
+
+	// ---- Step 2: per-client personalized training. ----
+	var weighted, total float64
+	for ci, c := range clients {
+		rng := rand.New(rand.NewSource(fedOpt.Seed*7919 + int64(ci)))
+		if err := nn.Unflatten(c.Model, fedRes.GlobalParams); err != nil {
+			return nil, err
+		}
+		p := newPersonal(c.Graph, c.Model, cfg, a.Opt, rng)
+		p.train(a.Opt.Epochs)
+
+		var acc float64
+		var w float64
+		if c.Graph.Eval != nil {
+			// Inductive protocol: rebuild the Step-1/Step-2 pipeline on the
+			// full evaluation graph and transplant the trained parameters.
+			evalExtractor := build(c.Graph.Eval, cfg, rand.New(rand.NewSource(fedOpt.Seed*7919+int64(ci)+500)))
+			if err := nn.Unflatten(evalExtractor, fedRes.GlobalParams); err != nil {
+				return nil, err
+			}
+			pe := newPersonal(c.Graph.Eval, evalExtractor, cfg, a.Opt, rand.New(rand.NewSource(fedOpt.Seed*7919+int64(ci)+900)))
+			if err := nn.Unflatten(pe.modules(), nn.Flatten(p.modules())); err != nil {
+				return nil, err
+			}
+			pe.hcs = p.hcs // the observed topology decided the combination
+			acc = pe.testAccuracy()
+			w = float64(graph.CountMask(c.Graph.Eval.TestMask))
+		} else {
+			acc = p.testAccuracy()
+			w = float64(graph.CountMask(c.Graph.TestMask))
+		}
+		res.PerClient = append(res.PerClient, acc)
+		weighted += acc * w
+		total += w
+		a.Reports = append(a.Reports, ClientReport{
+			HCS:           p.hcs,
+			EdgeHomophily: c.Graph.EdgeHomophily(),
+			TestAccuracy:  acc,
+		})
+	}
+	if total > 0 {
+		res.TestAcc = weighted / total
+	}
+	return res, nil
+}
+
+// personal holds one client's Step-2 state.
+type personal struct {
+	g   *graph.Graph
+	opt Options
+
+	// Step-1 artifacts.
+	extLogits *matrix.Dense // knowledge extractor logits Ẑ
+	phat      *matrix.Dense // P̂ = softmax(Ẑ)
+	ptilde    *matrix.Dense // optimized propagation matrix P̃ (Eq. 5–6)
+	propX     *matrix.Dense // [X̃(1) || … || X̃(K)] (Eq. 7)
+
+	// Trainable modules.
+	knowledge *nn.MLP // MessageUpdater Θ_knowledge → H̃ logits
+	feature   *nn.MLP // Θ_feature (Eq. 10) → Hf logits
+	message   *nn.MLP // Θ_message (Eq. 11) → Hm' logits
+
+	hcs float64
+
+	// forward caches
+	hTilde, hf, hmPrime, hm1 *matrix.Dense
+	sHT, sHF, sHM            *matrix.Dense
+	pPos, pPosT, pNegT, pNeg *matrix.Dense
+	yhat                     *matrix.Dense
+	optimizer                nn.Optimizer
+}
+
+func newPersonal(g *graph.Graph, extractor models.Model, cfg models.Config, opt Options, rng *rand.Rand) *personal {
+	p := &personal{g: g, opt: opt}
+
+	// Knowledge extractor outputs on the local subgraph.
+	p.extLogits = extractor.Logits(false)
+	p.phat = matrix.SoftmaxRows(p.extLogits)
+
+	// Eq. (5)–(6): optimized probability propagation matrix.
+	if opt.DisableLT {
+		p.ptilde = g.NormAdj(sparse.NormSym).Dense()
+	} else {
+		p.ptilde = OptimizedPropagation(g, p.phat, opt.Alpha)
+	}
+
+	// Eq. (7): K-step federated knowledge-guided smoothing. The hop-0
+	// features are included in the concatenation so the MessageUpdater can
+	// weigh raw against smoothed evidence (the ego term of Eq. 7's X^(0)).
+	hops := make([]*matrix.Dense, 0, opt.K+1)
+	hops = append(hops, g.X)
+	cur := g.X
+	for k := 0; k < opt.K; k++ {
+		cur = matrix.Mul(p.ptilde, cur)
+		hops = append(hops, cur)
+	}
+	p.propX = matrix.ConcatCols(hops...)
+
+	hidden := cfg.Hidden
+	p.knowledge = nn.NewMLP("ada.knowledge", []int{p.propX.Cols, hidden, g.Classes}, 0, rng)
+	p.feature = nn.NewMLP("ada.feature", []int{g.X.Cols, hidden, g.Classes}, 0, rng)
+	p.message = nn.NewMLP("ada.message", []int{g.Classes, hidden, g.Classes}, 0, rng)
+
+	// HCS (Definition 2) drives the adaptive combination.
+	if opt.DisableHCS {
+		p.hcs = 0.5
+	} else {
+		p.hcs = HCS(g, opt.Kappa, opt.LPSteps, opt.MaskProb, rng)
+	}
+
+	p.optimizer = cfg.NewOptimizer()
+	return p
+}
+
+// OptimizedPropagation computes P̃ of Eq. (5)–(6): blend the local adjacency
+// with the knowledge extractor's prediction-similarity matrix, zero the
+// diagonal and degree-normalise symmetrically.
+func OptimizedPropagation(g *graph.Graph, phat *matrix.Dense, alpha float64) *matrix.Dense {
+	n := g.N
+	adense := g.NormAdj(sparse.NormSym).Dense()
+	// P = α·A + (1-α)·P̂P̂ᵀ.
+	pp := matrix.MulT(phat, phat)
+	p := matrix.Scale(alpha, adense)
+	matrix.AddScaled(p, 1-alpha, pp)
+	// Eq. (6): remove self-aggregation and scale by the induced degrees.
+	for i := 0; i < n; i++ {
+		p.Set(i, i, 0)
+	}
+	deg := matrix.RowSums(p)
+	for i := 0; i < n; i++ {
+		row := p.Row(i)
+		for j := range row {
+			d := deg[i] * deg[j]
+			if d > 0 {
+				row[j] /= sqrtf(d)
+			}
+		}
+	}
+	return p
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// modules returns the trainable parameter group for the optimiser.
+func (p *personal) modules() nn.ParamGroup {
+	return nn.ParamGroup{p.knowledge, p.feature, p.message}
+}
+
+// forward computes Ŷ of Eq. (17) and caches intermediates for backward.
+func (p *personal) forward() *matrix.Dense {
+	// Homophilous branch: H̃ from knowledge-guided smoothing.
+	p.hTilde = p.knowledge.Forward(p.propX)
+	p.sHT = matrix.SoftmaxRows(p.hTilde)
+
+	// Heterophilous branch.
+	if !p.opt.DisableTF {
+		p.hf = p.feature.Forward(p.g.X)
+		p.sHF = matrix.SoftmaxRows(p.hf)
+	}
+	if !p.opt.DisableLM {
+		// Eq. (11)–(12) with one learnable message layer. The evolved P̃^(1)
+		// and its signed parts are recomputed from the current (detached)
+		// message embeddings each forward pass.
+		p.hmPrime = p.message.Forward(p.hTilde)
+		gram := matrix.MulT(p.hmPrime, p.hmPrime)
+		matrix.NormalizeRowsL1(gram)
+		pEvo := matrix.Scale(p.opt.Beta, p.ptilde)
+		matrix.AddScaled(pEvo, 1-p.opt.Beta, gram)
+		p.pPos, p.pNeg = splitSigns(pEvo)
+		p.pPosT = matrix.Transpose(p.pPos)
+		p.pNegT = matrix.Transpose(p.pNeg)
+		// H_m^(1) = H' + P⁺H' − P⁻H'.
+		p.hm1 = matrix.Add(p.hmPrime, matrix.Sub(matrix.Mul(p.pPos, p.hmPrime), matrix.Mul(p.pNeg, p.hmPrime)))
+		p.sHM = matrix.SoftmaxRows(p.hm1)
+	}
+
+	// Eq. (9): Ŷ_ho = (softmax(H̃) + P̂)/2.
+	yho := matrix.Scale(0.5, p.sHT)
+	matrix.AddScaled(yho, 0.5, p.phat)
+
+	// Eq. (13): Ŷ_he = mean of available heterophilous heads.
+	heads := []*matrix.Dense{p.sHT}
+	if !p.opt.DisableTF {
+		heads = append(heads, p.sHF)
+	}
+	if !p.opt.DisableLM {
+		heads = append(heads, p.sHM)
+	}
+	yhe := matrix.New(p.g.N, p.g.Classes)
+	for _, h := range heads {
+		matrix.AddScaled(yhe, 1/float64(len(heads)), h)
+	}
+
+	// Eq. (17).
+	p.yhat = matrix.Scale(p.hcs, yho)
+	matrix.AddScaled(p.yhat, 1-p.hcs, yhe)
+	return p.yhat
+}
+
+// splitSigns returns ReLU(P) and ReLU(−P) (PoSign / NeSign of Eq. 11).
+func splitSigns(p *matrix.Dense) (pos, neg *matrix.Dense) {
+	pos = matrix.New(p.Rows, p.Cols)
+	neg = matrix.New(p.Rows, p.Cols)
+	for i, v := range p.Data {
+		if v > 0 {
+			pos.Data[i] = v
+		} else {
+			neg.Data[i] = -v
+		}
+	}
+	return pos, neg
+}
+
+// train runs Step-2 epochs minimising Eq. (14): L = L_CE + L_knowledge.
+func (p *personal) train(epochs int) {
+	group := p.modules()
+	for e := 0; e < epochs; e++ {
+		nn.ZeroGrads(group)
+		yhat := p.forward()
+
+		// CE on the combined probability matrix.
+		_, dY := probCrossEntropyGrad(yhat, p.g.Labels, p.g.TrainMask)
+		p.backward(dY)
+
+		// Eq. (8): knowledge preserving on the homophilous branch.
+		if !p.opt.DisableKP {
+			_, dKP := nn.MSELoss(p.hTilde, p.extLogits)
+			p.knowledge.Backward(dKP)
+		}
+		p.optimizer.Step(group)
+	}
+}
+
+// backward routes dL/dŶ through every branch of forward.
+func (p *personal) backward(dY *matrix.Dense) {
+	nHeads := 1
+	if !p.opt.DisableTF {
+		nHeads++
+	}
+	if !p.opt.DisableLM {
+		nHeads++
+	}
+	heWeight := (1 - p.hcs) / float64(nHeads)
+
+	// d softmax(H̃): from Ŷ_ho (weight hcs·½) and Ŷ_he (weight heWeight).
+	dSHT := matrix.Scale(p.hcs*0.5+heWeight, dY)
+	dHT := softmaxBackward(p.sHT, dSHT)
+
+	if !p.opt.DisableLM {
+		dSHM := matrix.Scale(heWeight, dY)
+		dHM1 := softmaxBackward(p.sHM, dSHM)
+		// H_m^(1) = (I + P⁺ − P⁻)·H' ⇒ dH' = (I + P⁺ᵀ − P⁻ᵀ)·dH_m.
+		dHP := matrix.Add(dHM1, matrix.Sub(matrix.Mul(p.pPosT, dHM1), matrix.Mul(p.pNegT, dHM1)))
+		matrix.AddInPlace(dHT, p.message.Backward(dHP))
+	}
+	p.knowledge.Backward(dHT)
+
+	if !p.opt.DisableTF {
+		dSHF := matrix.Scale(heWeight, dY)
+		p.feature.Backward(softmaxBackward(p.sHF, dSHF))
+	}
+}
+
+// testAccuracy scores the combined prediction on the local test mask.
+func (p *personal) testAccuracy() float64 {
+	yhat := p.forward()
+	return models.AccuracyFromLogits(yhat, p.g.Labels, p.g.TestMask)
+}
+
+// probCrossEntropyGrad computes masked mean NLL on a probability matrix and
+// its gradient dL/dP.
+func probCrossEntropyGrad(probs *matrix.Dense, labels []int, mask []bool) (float64, *matrix.Dense) {
+	grad := matrix.New(probs.Rows, probs.Cols)
+	count := 0
+	var loss float64
+	for i := 0; i < probs.Rows; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		count++
+		pv := probs.At(i, labels[i])
+		if pv < 1e-9 {
+			pv = 1e-9
+		}
+		loss -= math.Log(pv)
+		grad.Set(i, labels[i], -1/pv)
+	}
+	if count == 0 {
+		return 0, grad
+	}
+	inv := 1 / float64(count)
+	matrix.ScaleInPlace(grad, inv)
+	return loss * inv, grad
+}
+
+// softmaxBackward computes dL/dZ from S = softmax(Z) and dL/dS.
+func softmaxBackward(s, dS *matrix.Dense) *matrix.Dense {
+	out := matrix.New(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		srow, drow, orow := s.Row(i), dS.Row(i), out.Row(i)
+		var dot float64
+		for j := range srow {
+			dot += srow[j] * drow[j]
+		}
+		for j := range srow {
+			orow[j] = srow[j] * (drow[j] - dot)
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+// Package federated implements the multi-client collaborative training
+// substrate of the AdaFGL paper: FedAvg orchestration (Eq. 3–4) over
+// graph-bound client models, partial client participation, per-round
+// convergence recording (Figs. 8/9/11) and communication accounting
+// (Table VIII).
+package federated
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// Client is one federated participant holding a private subgraph and a
+// local model bound to it. If the subgraph carries an inductive Eval graph
+// (graph.MakeInductive), evaluation runs on the full graph with the trained
+// parameters transplanted into a second model instance.
+type Client struct {
+	ID    int
+	Graph *graph.Graph
+	Model models.Model
+	cfg   models.Config
+
+	build     models.Builder
+	evalModel models.Model
+	evalRNG   *rand.Rand
+}
+
+// NewClient builds a client with its own model instance.
+func NewClient(id int, g *graph.Graph, build models.Builder, cfg models.Config, rng *rand.Rand) *Client {
+	return &Client{
+		ID: id, Graph: g, Model: build(g, cfg, rng), cfg: cfg,
+		build: build, evalRNG: rand.New(rand.NewSource(rng.Int63())),
+	}
+}
+
+// TrainLocal runs epochs of local full-batch training (Eq. 3) and returns
+// the last loss.
+func (c *Client) TrainLocal(epochs int) float64 {
+	opt := c.cfg.NewOptimizer()
+	var loss float64
+	for e := 0; e < epochs; e++ {
+		loss = models.TrainEpoch(c.Model, opt, c.Graph.Labels, c.Graph.TrainMask)
+	}
+	return loss
+}
+
+// TrainSize returns the client's labeled-data size n_i used as the FedAvg
+// aggregation weight.
+func (c *Client) TrainSize() int { return graph.CountMask(c.Graph.TrainMask) }
+
+// TestAccuracy evaluates the client's current model on its local test mask.
+// Under the inductive protocol the trained parameters are transplanted into
+// a model bound to the full evaluation graph, so unseen test nodes are
+// classified with their true (previously hidden) neighbourhoods.
+func (c *Client) TestAccuracy() float64 {
+	if c.Graph.Eval == nil {
+		return models.Accuracy(c.Model, c.Graph.Labels, c.Graph.TestMask)
+	}
+	if c.evalModel == nil {
+		c.evalModel = c.build(c.Graph.Eval, c.cfg, c.evalRNG)
+	}
+	if err := nn.Unflatten(c.evalModel, nn.Flatten(c.Model)); err != nil {
+		return 0
+	}
+	return models.Accuracy(c.evalModel, c.Graph.Eval.Labels, c.Graph.Eval.TestMask)
+}
+
+// TestSize returns the number of test nodes scoring this client (full graph
+// under the inductive protocol).
+func (c *Client) TestSize() int {
+	if c.Graph.Eval != nil {
+		return graph.CountMask(c.Graph.Eval.TestMask)
+	}
+	return graph.CountMask(c.Graph.TestMask)
+}
+
+// Options configures a federated run, defaulting to the paper's protocol
+// (100 rounds, 5 local epochs, full participation).
+type Options struct {
+	Rounds        int
+	LocalEpochs   int
+	Participation float64 // fraction of clients sampled per round
+	// LocalCorrection fine-tunes each client's copy of the final global
+	// model locally for this many epochs before evaluation (the paper's
+	// "local corrections for all federated implementations of GNNs").
+	LocalCorrection int
+	Seed            int64
+}
+
+// DefaultOptions mirrors Sec. IV-A.
+func DefaultOptions() Options {
+	return Options{Rounds: 100, LocalEpochs: 5, Participation: 1.0, LocalCorrection: 0, Seed: 1}
+}
+
+// Result summarises a federated run.
+type Result struct {
+	// TestAcc is the train-size-weighted mean client test accuracy of the
+	// final (optionally locally corrected) models.
+	TestAcc float64
+	// PerClient holds each client's final test accuracy (Fig. 2(d)).
+	PerClient []float64
+	// RoundAcc records the weighted test accuracy of the global model after
+	// every aggregation round (Figs. 8/9).
+	RoundAcc []float64
+	// GlobalParams is the final aggregated model — AdaFGL's federated
+	// knowledge extractor.
+	GlobalParams []float64
+	// BytesPerRound is the communication volume of one round: every
+	// participating client uploads and receives one parameter vector
+	// (8 bytes per float64).
+	BytesPerRound int
+}
+
+// Server coordinates FedAvg over a set of clients.
+type Server struct {
+	Clients []*Client
+	rng     *rand.Rand
+}
+
+// NewServer wraps the clients; the rng drives participation sampling.
+func NewServer(clients []*Client, seed int64) *Server {
+	return &Server{Clients: clients, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Run executes FedAvg per Eq. (4): broadcast, parallel local training,
+// data-size-weighted aggregation; repeated for opt.Rounds.
+func (s *Server) Run(opt Options) (*Result, error) {
+	if len(s.Clients) == 0 {
+		return nil, fmt.Errorf("federated: no clients")
+	}
+	dim := len(nn.Flatten(s.Clients[0].Model))
+	for _, c := range s.Clients[1:] {
+		if len(nn.Flatten(c.Model)) != dim {
+			return nil, fmt.Errorf("federated: client %d parameter dim mismatch", c.ID)
+		}
+	}
+	global := nn.Flatten(s.Clients[0].Model) // initial broadcast model
+	res := &Result{}
+
+	nPart := int(float64(len(s.Clients)) * opt.Participation)
+	if nPart < 1 {
+		nPart = 1
+	}
+	res.BytesPerRound = nPart * dim * 8 * 2 // upload + download
+
+	for round := 0; round < opt.Rounds; round++ {
+		perm := s.rng.Perm(len(s.Clients))
+		participants := perm[:nPart]
+
+		agg := make([]float64, dim)
+		var totalW float64
+		for _, ci := range participants {
+			c := s.Clients[ci]
+			if err := nn.Unflatten(c.Model, global); err != nil {
+				return nil, fmt.Errorf("federated: broadcast to client %d: %w", c.ID, err)
+			}
+			c.TrainLocal(opt.LocalEpochs)
+			w := float64(c.TrainSize())
+			if w == 0 {
+				w = 1
+			}
+			local := nn.Flatten(c.Model)
+			for i, v := range local {
+				agg[i] += w * v
+			}
+			totalW += w
+		}
+		for i := range agg {
+			agg[i] /= totalW
+		}
+		global = agg
+		res.RoundAcc = append(res.RoundAcc, s.evalGlobal(global))
+	}
+	res.GlobalParams = global
+
+	// Final broadcast + optional local correction, then evaluation.
+	var weighted, total float64
+	for _, c := range s.Clients {
+		if err := nn.Unflatten(c.Model, global); err != nil {
+			return nil, err
+		}
+		if opt.LocalCorrection > 0 {
+			c.TrainLocal(opt.LocalCorrection)
+		}
+		acc := c.TestAccuracy()
+		res.PerClient = append(res.PerClient, acc)
+		w := float64(c.TestSize())
+		weighted += acc * w
+		total += w
+	}
+	if total > 0 {
+		res.TestAcc = weighted / total
+	}
+	return res, nil
+}
+
+// evalGlobal loads the global parameters into every client and returns the
+// test-size-weighted accuracy.
+func (s *Server) evalGlobal(global []float64) float64 {
+	var weighted, total float64
+	for _, c := range s.Clients {
+		if err := nn.Unflatten(c.Model, global); err != nil {
+			return 0
+		}
+		w := float64(c.TestSize())
+		weighted += c.TestAccuracy() * w
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+// BuildClients constructs one client per subgraph with a shared architecture.
+func BuildClients(subgraphs []*graph.Graph, build models.Builder, cfg models.Config, seed int64) []*Client {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Client, len(subgraphs))
+	for i, g := range subgraphs {
+		out[i] = NewClient(i, g, build, cfg, rng)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package federated
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/partition"
+)
+
+func coraClients(t testing.TB, k int, seed int64) []*Client {
+	t.Helper()
+	s, err := datasets.ByName("Cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datasets.GenerateScaled(s, 0.3, seed)
+	cd := partition.CommunitySplit(g, k, rand.New(rand.NewSource(seed)))
+	cfg := models.DefaultConfig()
+	cfg.Hidden = 16
+	cfg.Dropout = 0
+	return BuildClients(cd.Subgraphs, models.Registry["GCN"], cfg, seed)
+}
+
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Rounds = 15
+	o.LocalEpochs = 2
+	return o
+}
+
+func TestFedAvgImprovesOverRounds(t *testing.T) {
+	clients := coraClients(t, 4, 1)
+	srv := NewServer(clients, 2)
+	res, err := srv.Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RoundAcc) != 15 {
+		t.Fatalf("RoundAcc len = %d, want 15", len(res.RoundAcc))
+	}
+	early := res.RoundAcc[0]
+	late := res.RoundAcc[len(res.RoundAcc)-1]
+	if late <= early {
+		t.Fatalf("federated training did not improve: %.3f -> %.3f", early, late)
+	}
+	if res.TestAcc < 0.5 {
+		t.Fatalf("final weighted accuracy %.3f too low", res.TestAcc)
+	}
+}
+
+func TestFedAvgAggregationIsWeightedMean(t *testing.T) {
+	clients := coraClients(t, 3, 3)
+	// One round, zero local epochs: aggregation of identical broadcast
+	// models must reproduce the broadcast exactly (weight conservation).
+	srv := NewServer(clients, 4)
+	o := DefaultOptions()
+	o.Rounds = 1
+	o.LocalEpochs = 0
+	before := nn.Flatten(clients[0].Model)
+	res, err := srv.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.GlobalParams {
+		if math.Abs(v-before[i]) > 1e-12 {
+			t.Fatal("zero-epoch FedAvg must be a no-op on parameters")
+		}
+	}
+}
+
+func TestPartialParticipation(t *testing.T) {
+	clients := coraClients(t, 5, 5)
+	srv := NewServer(clients, 6)
+	o := quickOpts()
+	o.Participation = 0.4 // 2 of 5 clients per round
+	res, err := srv.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := coraClients(t, 5, 5)
+	srvFull := NewServer(full, 6)
+	resFull, err := srvFull.Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partial participation halves the per-round communication.
+	if res.BytesPerRound >= resFull.BytesPerRound {
+		t.Fatalf("partial participation bytes %d !< full %d", res.BytesPerRound, resFull.BytesPerRound)
+	}
+	if len(res.PerClient) != 5 {
+		t.Fatal("all clients must be evaluated at the end")
+	}
+}
+
+func TestLocalCorrectionImprovesClients(t *testing.T) {
+	base := coraClients(t, 4, 7)
+	srv := NewServer(base, 8)
+	o := quickOpts()
+	res, err := srv.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected := coraClients(t, 4, 7)
+	srv2 := NewServer(corrected, 8)
+	o.LocalCorrection = 10
+	res2, err := srv2.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TestAcc < res.TestAcc-0.05 {
+		t.Fatalf("local correction hurt: %.3f -> %.3f", res.TestAcc, res2.TestAcc)
+	}
+}
+
+func TestNoClientsError(t *testing.T) {
+	srv := NewServer(nil, 1)
+	if _, err := srv.Run(DefaultOptions()); err == nil {
+		t.Fatal("empty server must error")
+	}
+}
+
+func TestTrainSizeWeights(t *testing.T) {
+	clients := coraClients(t, 3, 9)
+	for _, c := range clients {
+		if c.TrainSize() <= 0 {
+			t.Fatalf("client %d has no training data", c.ID)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() *Result {
+		clients := coraClients(t, 3, 11)
+		srv := NewServer(clients, 12)
+		res, err := srv.Run(quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if math.Abs(a.TestAcc-b.TestAcc) > 1e-12 {
+		t.Fatalf("same seeds must reproduce: %.6f vs %.6f", a.TestAcc, b.TestAcc)
+	}
+	for i := range a.RoundAcc {
+		if a.RoundAcc[i] != b.RoundAcc[i] {
+			t.Fatal("round curves differ under same seed")
+		}
+	}
+}
+
+func TestFederatedBeatsIsolatedTraining(t *testing.T) {
+	// The core FL premise (Sec. I): collaborative training should not lose
+	// badly to isolated local training on small homophilous subgraphs.
+	clients := coraClients(t, 6, 13)
+	srv := NewServer(clients, 14)
+	o := quickOpts()
+	o.Rounds = 30
+	res, err := srv.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso := coraClients(t, 6, 13)
+	var weighted, total float64
+	for _, c := range iso {
+		c.TrainLocal(60) // same gradient budget
+		w := 1.0
+		weighted += c.TestAccuracy() * w
+		total += w
+	}
+	isoAcc := weighted / total
+	if res.TestAcc < isoAcc-0.1 {
+		t.Fatalf("FedAvg %.3f lost badly to isolated %.3f on homophilous community split", res.TestAcc, isoAcc)
+	}
+}
+
+func BenchmarkFedAvgRound(b *testing.B) {
+	clients := coraClients(b, 5, 1)
+	srv := NewServer(clients, 2)
+	o := DefaultOptions()
+	o.Rounds = 1
+	o.LocalEpochs = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Run(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

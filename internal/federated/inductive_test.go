@@ -1,0 +1,94 @@
+package federated
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/partition"
+)
+
+func inductiveClients(t *testing.T, k int, seed int64) []*Client {
+	t.Helper()
+	s, err := datasets.ByName("Reddit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datasets.GenerateScaled(s, 0.15, seed)
+	cd := partition.CommunitySplit(g, k, rand.New(rand.NewSource(seed)))
+	cfg := models.DefaultConfig()
+	cfg.Hidden = 16
+	cfg.Dropout = 0
+	subs := make([]*graph.Graph, len(cd.Subgraphs))
+	for i, sub := range cd.Subgraphs {
+		subs[i] = graph.MakeInductive(sub)
+	}
+	return BuildClients(subs, models.Registry["GCN"], cfg, seed)
+}
+
+func TestMakeInductiveHidesTestNodes(t *testing.T) {
+	s, err := datasets.ByName("Flickr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datasets.GenerateScaled(s, 0.1, 1)
+	obs := graph.MakeInductive(g)
+	if obs.Eval != g {
+		t.Fatal("Eval must point at the full graph")
+	}
+	want := g.N - graph.CountMask(g.TestMask)
+	if obs.N != want {
+		t.Fatalf("observed graph has %d nodes, want %d", obs.N, want)
+	}
+	for v := 0; v < obs.N; v++ {
+		if obs.TestMask[v] {
+			t.Fatal("observed graph must contain no test nodes")
+		}
+	}
+	if obs.M() >= g.M() {
+		t.Fatal("hiding test nodes must remove their edges")
+	}
+}
+
+func TestInductiveClientEvaluatesOnFullGraph(t *testing.T) {
+	clients := inductiveClients(t, 3, 2)
+	for _, c := range clients {
+		if c.TestSize() == 0 {
+			t.Fatalf("client %d: inductive TestSize must count full-graph test nodes", c.ID)
+		}
+		if graph.CountMask(c.Graph.TestMask) != 0 {
+			t.Fatalf("client %d: observed graph leaked test nodes", c.ID)
+		}
+	}
+	// Training on observed graphs, evaluating on full graphs, must learn.
+	srv := NewServer(clients, 3)
+	o := DefaultOptions()
+	o.Rounds = 15
+	o.LocalEpochs = 2
+	res, err := srv.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAcc < 0.3 {
+		t.Fatalf("inductive accuracy %.3f implausibly low", res.TestAcc)
+	}
+	if res.RoundAcc[len(res.RoundAcc)-1] <= res.RoundAcc[0] {
+		t.Fatal("inductive federated training did not improve")
+	}
+}
+
+func TestInductiveCloneCarriesEval(t *testing.T) {
+	s, _ := datasets.ByName("Reddit")
+	g := datasets.GenerateScaled(s, 0.1, 4)
+	obs := graph.MakeInductive(g)
+	c := obs.Clone()
+	if c.Eval == nil || c.Eval.N != g.N {
+		t.Fatal("Clone must deep-copy the Eval graph")
+	}
+	c.Eval.Labels[0] = (c.Eval.Labels[0] + 1) % c.Eval.Classes
+	if g.Labels[0] == c.Eval.Labels[0] {
+		t.Fatal("Eval clone must be independent")
+	}
+}

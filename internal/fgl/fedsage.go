@@ -1,0 +1,180 @@
+package fgl
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/federated"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/models"
+)
+
+// FedSage implements the FedSage+ mechanism of Zhang et al.: every client
+// runs a NeighGen-style generator that mends its subgraph by synthesising the
+// neighbours lost to the partition cut, then federated training proceeds on
+// the mended subgraphs. Our generator follows the published design at the
+// mechanism level: it detects under-connected (boundary-like) nodes, predicts
+// how many neighbours are missing from the degree distribution, and generates
+// neighbour features from the class-conditional feature model of the local
+// training data — which implicitly assumes homophily, producing FedSage+'s
+// characteristic collapse under structure Non-iid (Table II).
+type FedSage struct {
+	// GenFraction is the fraction of lowest-degree nodes that get mended.
+	GenFraction float64
+	// NeighborsPerNode is the number of generated neighbours per mended node.
+	NeighborsPerNode int
+}
+
+// NewFedSage returns FedSage+ with the paper's searched defaults
+// (augment fraction 0.1, 2 generated neighbours).
+func NewFedSage() *FedSage { return &FedSage{GenFraction: 0.1, NeighborsPerNode: 2} }
+
+// Name implements Method.
+func (m *FedSage) Name() string { return "FedSage+" }
+
+// Run implements Method.
+func (m *FedSage) Run(subgraphs []*graph.Graph, cfg models.Config, opt federated.Options) (*federated.Result, error) {
+	rng := freshRNG(opt, 29)
+	mended := make([]*graph.Graph, len(subgraphs))
+	for i, g := range subgraphs {
+		mended[i] = m.mendSubgraph(g, rng)
+	}
+	build, err := models.BuilderFor("GCN")
+	if err != nil {
+		return nil, err
+	}
+	clients := federated.BuildClients(mended, build, cfg, opt.Seed)
+	srv := federated.NewServer(clients, opt.Seed+1)
+	res, err := srv.Run(opt)
+	if err != nil {
+		return nil, err
+	}
+	// Communication: on top of the model params, FedSage+ exchanges node
+	// embeddings and NeighGen gradients across clients during generator
+	// training (Table VIII); accounted as one hidden-dim embedding per
+	// mended node per round.
+	for _, g := range subgraphs {
+		nMend := int(float64(g.N) * m.GenFraction)
+		res.BytesPerRound += nMend * cfg.Hidden * 8 * 2
+	}
+	// Evaluation on mended graphs uses the original nodes' masks only
+	// (generated nodes carry no masks), so accuracies are comparable.
+	return res, nil
+}
+
+// mendSubgraph returns a copy of g augmented with generated neighbours.
+// Generated nodes receive features drawn from the ego node's class-
+// conditional Gaussian fitted on local training nodes (labels of unlabeled
+// egos are approximated by their nearest class centroid), and are connected
+// only to their ego. Generated nodes join no train/val/test mask.
+func (m *FedSage) mendSubgraph(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	if g.N == 0 {
+		return g.Clone()
+	}
+	// Class centroids from training nodes.
+	centroids, counts := classCentroids(g)
+	// Rank nodes by degree ascending: the most under-connected first.
+	deg := g.Degrees()
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if deg[order[a]] != deg[order[b]] {
+			return deg[order[a]] < deg[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	nMend := int(float64(g.N) * m.GenFraction)
+	if nMend < 1 {
+		nMend = 1
+	}
+	if nMend > g.N {
+		nMend = g.N
+	}
+
+	newN := g.N + nMend*m.NeighborsPerNode
+	x := matrix.New(newN, g.X.Cols)
+	for i := 0; i < g.N; i++ {
+		copy(x.Row(i), g.X.Row(i))
+	}
+	labels := make([]int, newN)
+	copy(labels, g.Labels)
+	edges := make([][2]int, len(g.Edges), len(g.Edges)+nMend*m.NeighborsPerNode)
+	copy(edges, g.Edges)
+
+	next := g.N
+	for _, ego := range order[:nMend] {
+		c := egoClass(g, ego, centroids, counts)
+		for k := 0; k < m.NeighborsPerNode; k++ {
+			row := x.Row(next)
+			if counts[c] > 0 {
+				for j := range row {
+					row[j] = centroids.At(c, j) + rng.NormFloat64()*0.5
+				}
+			} else {
+				copy(row, g.X.Row(ego))
+			}
+			labels[next] = c
+			edges = append(edges, [2]int{ego, next})
+			next++
+		}
+	}
+	ng := graph.New(newN, edges, x, labels, g.Classes)
+	copy(ng.TrainMask, g.TrainMask)
+	copy(ng.ValMask, g.ValMask)
+	copy(ng.TestMask, g.TestMask)
+	return ng
+}
+
+// classCentroids fits per-class mean features on training nodes.
+func classCentroids(g *graph.Graph) (*matrix.Dense, []int) {
+	centroids := matrix.New(g.Classes, g.X.Cols)
+	counts := make([]int, g.Classes)
+	for i := 0; i < g.N; i++ {
+		if !g.TrainMask[i] {
+			continue
+		}
+		c := g.Labels[i]
+		counts[c]++
+		row := centroids.Row(c)
+		for j, v := range g.X.Row(i) {
+			row[j] += v
+		}
+	}
+	for c := 0; c < g.Classes; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		row := centroids.Row(c)
+		for j := range row {
+			row[j] /= float64(counts[c])
+		}
+	}
+	return centroids, counts
+}
+
+// egoClass returns the ego's label when known (train node) or the nearest
+// class centroid otherwise — the homophily assumption at the heart of
+// neighbour generation.
+func egoClass(g *graph.Graph, ego int, centroids *matrix.Dense, counts []int) int {
+	if g.TrainMask[ego] {
+		return g.Labels[ego]
+	}
+	best, bestD := 0, -1.0
+	for c := 0; c < g.Classes; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		var d float64
+		for j, v := range g.X.Row(ego) {
+			diff := v - centroids.At(c, j)
+			d += diff * diff
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

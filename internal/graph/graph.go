@@ -1,0 +1,425 @@
+// Package graph defines the attributed-graph data model shared by every
+// subsystem of the AdaFGL reproduction: node features, labels, train/val/test
+// masks and an undirected topology, together with the homophily metrics of
+// Eq. (2) of the paper and the structural operations (subgraph induction,
+// edge perturbation) needed by the federated data-simulation pipelines.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/sparse"
+)
+
+// Graph is an undirected attributed graph for semi-supervised node
+// classification. Edges holds each undirected edge once with u <= v; Adj is
+// the symmetric adjacency derived from Edges (without self-loops unless a
+// self-edge is present).
+type Graph struct {
+	N                            int           // number of nodes
+	Edges                        [][2]int      // canonical undirected edge list, u <= v, no duplicates
+	X                            *matrix.Dense // N x F feature matrix
+	Labels                       []int         // N class ids in [0, Classes)
+	Classes                      int
+	TrainMask, ValMask, TestMask []bool
+
+	// Eval, when non-nil, marks this graph as the *observed* (training)
+	// graph of an inductive protocol: models train on this graph's topology
+	// but are evaluated on Eval (the full graph including unseen test nodes
+	// and their edges). Transductive graphs leave Eval nil.
+	Eval *Graph
+
+	adj *sparse.CSR // lazily built
+}
+
+// New assembles a graph, canonicalising the edge list (deduplicated, u <= v).
+func New(n int, edges [][2]int, x *matrix.Dense, labels []int, classes int) *Graph {
+	if x != nil && x.Rows != n {
+		panic(fmt.Sprintf("graph: X has %d rows for %d nodes", x.Rows, n))
+	}
+	if labels != nil && len(labels) != n {
+		panic(fmt.Sprintf("graph: %d labels for %d nodes", len(labels), n))
+	}
+	g := &Graph{
+		N: n, X: x, Labels: labels, Classes: classes,
+		TrainMask: make([]bool, n), ValMask: make([]bool, n), TestMask: make([]bool, n),
+	}
+	g.Edges = Canonicalize(edges)
+	return g
+}
+
+// Canonicalize deduplicates an undirected edge list and orders endpoints
+// u <= v, dropping nothing else (self-loops are kept).
+func Canonicalize(edges [][2]int) [][2]int {
+	seen := make(map[[2]int]bool, len(edges))
+	out := make([][2]int, 0, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]int{u, v}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// Adj returns the symmetric adjacency CSR (cached).
+func (g *Graph) Adj() *sparse.CSR {
+	if g.adj == nil {
+		g.adj = sparse.FromEdges(g.N, g.Edges)
+	}
+	return g.adj
+}
+
+// InvalidateAdj drops the cached adjacency after a topology mutation.
+func (g *Graph) InvalidateAdj() { g.adj = nil }
+
+// NormAdj returns the self-looped, normalised adjacency Ã per Eq. (1).
+func (g *Graph) NormAdj(kind sparse.NormKind) *sparse.CSR {
+	return g.Adj().WithSelfLoops().Normalized(kind)
+}
+
+// Neighbors returns the neighbour ids of node v (no self).
+func (g *Graph) Neighbors(v int) []int {
+	cols, _ := g.Adj().Row(v)
+	out := make([]int, 0, len(cols))
+	for _, c := range cols {
+		if c != v {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Degrees returns per-node degree (self-loops excluded).
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.N)
+	for _, e := range g.Edges {
+		if e[0] == e[1] {
+			continue
+		}
+		d[e[0]]++
+		d[e[1]]++
+	}
+	return d
+}
+
+// OneHotLabels returns the N x Classes one-hot label matrix Y.
+func (g *Graph) OneHotLabels() *matrix.Dense {
+	y := matrix.New(g.N, g.Classes)
+	for i, c := range g.Labels {
+		if c >= 0 && c < g.Classes {
+			y.Set(i, c, 1)
+		}
+	}
+	return y
+}
+
+// MaskIdx returns the indices where mask is true.
+func MaskIdx(mask []bool) []int {
+	var out []int
+	for i, b := range mask {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CountMask returns the number of true entries.
+func CountMask(mask []bool) int {
+	n := 0
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// EdgeHomophily computes H_edge of Eq. (2): the fraction of edges whose
+// endpoints share a label. Self-loops count as homophilous. Returns 0 for
+// edgeless graphs.
+func (g *Graph) EdgeHomophily() float64 {
+	if len(g.Edges) == 0 {
+		return 0
+	}
+	same := 0
+	for _, e := range g.Edges {
+		if g.Labels[e[0]] == g.Labels[e[1]] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(g.Edges))
+}
+
+// NodeHomophily computes H_node of Eq. (2): the mean over nodes of the
+// fraction of same-label neighbours. Isolated nodes are skipped (they carry
+// no topological evidence either way).
+func (g *Graph) NodeHomophily() float64 {
+	var total float64
+	counted := 0
+	for v := 0; v < g.N; v++ {
+		nbrs := g.Neighbors(v)
+		if len(nbrs) == 0 {
+			continue
+		}
+		same := 0
+		for _, u := range nbrs {
+			if g.Labels[u] == g.Labels[v] {
+				same++
+			}
+		}
+		total += float64(same) / float64(len(nbrs))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// Subgraph returns the node-induced subgraph on idx (order defines new ids),
+// copying features, labels and masks. The mapping old->new is also returned.
+func (g *Graph) Subgraph(idx []int) (*Graph, map[int]int) {
+	remap := make(map[int]int, len(idx))
+	for newID, old := range idx {
+		remap[old] = newID
+	}
+	var edges [][2]int
+	for _, e := range g.Edges {
+		nu, okU := remap[e[0]]
+		nv, okV := remap[e[1]]
+		if okU && okV {
+			edges = append(edges, [2]int{nu, nv})
+		}
+	}
+	var x *matrix.Dense
+	if g.X != nil {
+		x = matrix.SelectRows(g.X, idx)
+	}
+	labels := make([]int, len(idx))
+	sub := New(len(idx), edges, x, labels, g.Classes)
+	for newID, old := range idx {
+		labels[newID] = g.Labels[old]
+		sub.TrainMask[newID] = g.TrainMask[old]
+		sub.ValMask[newID] = g.ValMask[old]
+		sub.TestMask[newID] = g.TestMask[old]
+	}
+	return sub, remap
+}
+
+// Clone deep-copies the graph (including the inductive Eval graph, if any).
+func (g *Graph) Clone() *Graph {
+	edges := make([][2]int, len(g.Edges))
+	copy(edges, g.Edges)
+	labels := make([]int, len(g.Labels))
+	copy(labels, g.Labels)
+	var x *matrix.Dense
+	if g.X != nil {
+		x = g.X.Clone()
+	}
+	c := New(g.N, edges, x, labels, g.Classes)
+	copy(c.TrainMask, g.TrainMask)
+	copy(c.ValMask, g.ValMask)
+	copy(c.TestMask, g.TestMask)
+	if g.Eval != nil {
+		c.Eval = g.Eval.Clone()
+	}
+	return c
+}
+
+// MakeInductive converts g into the inductive protocol: the returned graph
+// is the node-induced subgraph on the non-test nodes (what training may
+// observe), with Eval pointing at the full graph g for evaluation on the
+// unseen test nodes and their edges.
+func MakeInductive(g *Graph) *Graph {
+	var keep []int
+	for v := 0; v < g.N; v++ {
+		if !g.TestMask[v] {
+			keep = append(keep, v)
+		}
+	}
+	observed, _ := g.Subgraph(keep)
+	observed.Eval = g
+	return observed
+}
+
+// AddEdges inserts the given undirected edges (duplicates ignored) and
+// invalidates the cached adjacency.
+func (g *Graph) AddEdges(edges [][2]int) {
+	combined := make([][2]int, 0, len(g.Edges)+len(edges))
+	combined = append(combined, g.Edges...)
+	combined = append(combined, edges...)
+	g.Edges = Canonicalize(combined)
+	g.InvalidateAdj()
+}
+
+// RemoveEdges deletes the given undirected edges (order-insensitive; absent
+// edges are ignored) and invalidates the cached adjacency.
+func (g *Graph) RemoveEdges(edges [][2]int) {
+	if len(edges) == 0 {
+		return
+	}
+	drop := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		drop[[2]int{u, v}] = true
+	}
+	kept := g.Edges[:0]
+	for _, e := range g.Edges {
+		if !drop[e] {
+			kept = append(kept, e)
+		}
+	}
+	g.Edges = kept
+	g.InvalidateAdj()
+}
+
+// RemoveEdgesRandom deletes approximately frac of the edges uniformly at
+// random (used for the edge-sparsity experiments of Fig. 10).
+func (g *Graph) RemoveEdgesRandom(frac float64, rng *rand.Rand) {
+	if frac <= 0 {
+		return
+	}
+	kept := g.Edges[:0]
+	for _, e := range g.Edges {
+		if rng.Float64() >= frac {
+			kept = append(kept, e)
+		}
+	}
+	g.Edges = kept
+	g.InvalidateAdj()
+}
+
+// HasEdge reports whether the undirected edge {u,v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	// Edges is sorted; binary search.
+	i := sort.Search(len(g.Edges), func(i int) bool {
+		if g.Edges[i][0] != u {
+			return g.Edges[i][0] >= u
+		}
+		return g.Edges[i][1] >= v
+	})
+	return i < len(g.Edges) && g.Edges[i][0] == u && g.Edges[i][1] == v
+}
+
+// ConnectedComponents labels each node with a component id and returns the
+// ids plus the component count.
+func (g *Graph) ConnectedComponents() ([]int, int) {
+	comp := make([]int, g.N)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	queue := make([]int, 0, g.N)
+	for s := 0; s < g.N; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.Neighbors(v) {
+				if comp[u] < 0 {
+					comp[u] = next
+					queue = append(queue, u)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// LabelDistribution returns the per-class node counts (Fig. 2(a) data).
+func (g *Graph) LabelDistribution() []int {
+	counts := make([]int, g.Classes)
+	for _, c := range g.Labels {
+		if c >= 0 && c < g.Classes {
+			counts[c]++
+		}
+	}
+	return counts
+}
+
+// SplitTransductive assigns train/val/test masks by the given fractions,
+// stratified per class so every class appears in training (matching the
+// 20/40/40 and 60/20/20 protocols of Table I).
+func (g *Graph) SplitTransductive(trainFrac, valFrac float64, rng *rand.Rand) {
+	byClass := make(map[int][]int)
+	for i, c := range g.Labels {
+		byClass[c] = append(byClass[c], i)
+	}
+	for i := range g.TrainMask {
+		g.TrainMask[i], g.ValMask[i], g.TestMask[i] = false, false, false
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		nodes := byClass[c]
+		rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+		nTrain := int(float64(len(nodes)) * trainFrac)
+		if nTrain == 0 && len(nodes) > 0 {
+			nTrain = 1
+		}
+		nVal := int(float64(len(nodes)) * valFrac)
+		for i, v := range nodes {
+			switch {
+			case i < nTrain:
+				g.TrainMask[v] = true
+			case i < nTrain+nVal:
+				g.ValMask[v] = true
+			default:
+				g.TestMask[v] = true
+			}
+		}
+	}
+}
+
+// Stats is a compact numeric summary used by the Table I reproduction.
+type Stats struct {
+	Nodes, Edges, Features, Classes int
+	EdgeHomophily, NodeHomophily    float64
+	Train, Val, Test                int
+}
+
+// Summary computes Stats for g.
+func (g *Graph) Summary() Stats {
+	f := 0
+	if g.X != nil {
+		f = g.X.Cols
+	}
+	return Stats{
+		Nodes: g.N, Edges: g.M(), Features: f, Classes: g.Classes,
+		EdgeHomophily: g.EdgeHomophily(), NodeHomophily: g.NodeHomophily(),
+		Train: CountMask(g.TrainMask), Val: CountMask(g.ValMask), Test: CountMask(g.TestMask),
+	}
+}

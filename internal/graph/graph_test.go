@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// twoBlocks returns a graph with two fully homophilous triangles of
+// different classes joined by one heterophilous bridge.
+func twoBlocks() *Graph {
+	edges := [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}}
+	labels := []int{0, 0, 0, 1, 1, 1}
+	x := matrix.New(6, 2)
+	return New(6, edges, x, labels, 2)
+}
+
+func TestCanonicalize(t *testing.T) {
+	edges := Canonicalize([][2]int{{2, 1}, {1, 2}, {0, 0}, {3, 1}})
+	want := [][2]int{{0, 0}, {1, 2}, {1, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("got %v", edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestEdgeHomophily(t *testing.T) {
+	g := twoBlocks()
+	// 6 intra-class edges, 1 bridge => 6/7.
+	if got := g.EdgeHomophily(); math.Abs(got-6.0/7.0) > 1e-12 {
+		t.Fatalf("EdgeHomophily = %v, want %v", got, 6.0/7.0)
+	}
+}
+
+func TestNodeHomophily(t *testing.T) {
+	g := twoBlocks()
+	// Nodes 0,1,4,5: homophily 1. Nodes 2,3: 2/3 each.
+	want := (4.0 + 2.0*2.0/3.0) / 6.0
+	if got := g.NodeHomophily(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NodeHomophily = %v, want %v", got, want)
+	}
+}
+
+func TestHomophilyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(3)
+		}
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		g := New(n, edges, nil, labels, 3)
+		eh, nh := g.EdgeHomophily(), g.NodeHomophily()
+		return eh >= 0 && eh <= 1 && nh >= 0 && nh <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsAndDegrees(t *testing.T) {
+	g := twoBlocks()
+	nbrs := g.Neighbors(2)
+	if len(nbrs) != 3 {
+		t.Fatalf("Neighbors(2) = %v, want 3 neighbours", nbrs)
+	}
+	d := g.Degrees()
+	if d[2] != 3 || d[0] != 2 {
+		t.Fatalf("Degrees = %v", d)
+	}
+}
+
+func TestOneHotLabels(t *testing.T) {
+	g := twoBlocks()
+	y := g.OneHotLabels()
+	if y.At(0, 0) != 1 || y.At(0, 1) != 0 || y.At(5, 1) != 1 {
+		t.Fatal("one-hot encoding wrong")
+	}
+	for i := 0; i < g.N; i++ {
+		var s float64
+		for _, v := range y.Row(i) {
+			s += v
+		}
+		if s != 1 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := twoBlocks()
+	g.TrainMask[3] = true
+	sub, remap := g.Subgraph([]int{3, 4, 5})
+	if sub.N != 3 || sub.M() != 3 {
+		t.Fatalf("subgraph %d nodes %d edges, want 3/3", sub.N, sub.M())
+	}
+	if sub.Labels[0] != 1 {
+		t.Fatal("labels not remapped")
+	}
+	if !sub.TrainMask[remap[3]] {
+		t.Fatal("train mask not carried over")
+	}
+	if got := sub.EdgeHomophily(); got != 1 {
+		t.Fatalf("pure block homophily = %v, want 1", got)
+	}
+}
+
+func TestSubgraphDropsCrossEdges(t *testing.T) {
+	g := twoBlocks()
+	sub, _ := g.Subgraph([]int{2, 3})
+	if sub.M() != 1 {
+		t.Fatalf("bridge-only subgraph has %d edges, want 1", sub.M())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := twoBlocks()
+	c := g.Clone()
+	c.AddEdges([][2]int{{0, 5}})
+	c.Labels[0] = 1
+	c.X.Set(0, 0, 9)
+	if g.HasEdge(0, 5) || g.Labels[0] == 1 || g.X.At(0, 0) == 9 {
+		t.Fatal("Clone must be fully independent")
+	}
+}
+
+func TestAddEdgesDedupAndInvalidate(t *testing.T) {
+	g := twoBlocks()
+	m0 := g.M()
+	_ = g.Adj() // populate cache
+	g.AddEdges([][2]int{{0, 1}, {0, 4}})
+	if g.M() != m0+1 {
+		t.Fatalf("M = %d, want %d", g.M(), m0+1)
+	}
+	if g.Adj().At(0, 4) != 1 {
+		t.Fatal("cached adjacency not invalidated")
+	}
+}
+
+func TestRemoveEdgesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := twoBlocks()
+	g.RemoveEdgesRandom(1.0, rng)
+	if g.M() != 0 {
+		t.Fatalf("frac=1 should remove all edges, left %d", g.M())
+	}
+	g2 := twoBlocks()
+	g2.RemoveEdgesRandom(0, rng)
+	if g2.M() != 7 {
+		t.Fatal("frac=0 should remove nothing")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := twoBlocks()
+	if !g.HasEdge(3, 2) {
+		t.Fatal("HasEdge must be order-insensitive")
+	}
+	if g.HasEdge(0, 5) {
+		t.Fatal("phantom edge")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(5, [][2]int{{0, 1}, {2, 3}}, nil, []int{0, 0, 0, 0, 0}, 1)
+	comp, n := g.ConnectedComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] {
+		t.Fatalf("component labels wrong: %v", comp)
+	}
+}
+
+func TestLabelDistribution(t *testing.T) {
+	g := twoBlocks()
+	d := g.LabelDistribution()
+	if d[0] != 3 || d[1] != 3 {
+		t.Fatalf("LabelDistribution = %v", d)
+	}
+}
+
+func TestSplitTransductiveStratified(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 100
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	g := New(n, nil, nil, labels, 4)
+	g.SplitTransductive(0.2, 0.4, rng)
+	s := g.Summary()
+	if s.Train != 20 || s.Val != 40 || s.Test != 40 {
+		t.Fatalf("split = %d/%d/%d, want 20/40/40", s.Train, s.Val, s.Test)
+	}
+	// Every class must appear in training (stratification).
+	perClass := make([]int, 4)
+	for i, m := range g.TrainMask {
+		if m {
+			perClass[labels[i]]++
+		}
+	}
+	for c, k := range perClass {
+		if k == 0 {
+			t.Fatalf("class %d absent from training set", c)
+		}
+	}
+	// Masks must be disjoint and exhaustive.
+	for i := 0; i < n; i++ {
+		cnt := 0
+		for _, m := range []bool{g.TrainMask[i], g.ValMask[i], g.TestMask[i]} {
+			if m {
+				cnt++
+			}
+		}
+		if cnt != 1 {
+			t.Fatalf("node %d in %d masks", i, cnt)
+		}
+	}
+}
+
+func TestMaskHelpers(t *testing.T) {
+	mask := []bool{true, false, true}
+	idx := MaskIdx(mask)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Fatalf("MaskIdx = %v", idx)
+	}
+	if CountMask(mask) != 2 {
+		t.Fatal("CountMask wrong")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	g := twoBlocks()
+	s := g.Summary()
+	if s.Nodes != 6 || s.Edges != 7 || s.Features != 2 || s.Classes != 2 {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+// Property: subgraph homophily of a single-class node set is always 1 when
+// it has at least one internal edge.
+func TestQuickSingleClassSubgraphHomophily(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(6)
+		labels := make([]int, n)
+		for i := n / 2; i < n; i++ {
+			labels[i] = 1
+		}
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		g := New(n, edges, nil, labels, 2)
+		idx := make([]int, 0, n/2)
+		for i := 0; i < n/2; i++ {
+			idx = append(idx, i)
+		}
+		sub, _ := g.Subgraph(idx)
+		if sub.M() == 0 {
+			return true
+		}
+		return sub.EdgeHomophily() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	a, b := New(7, 5), New(5, 4)
+	RandomNormal(a, 0, 1, rng)
+	RandomNormal(b, 0, 1, rng)
+	dst := New(7, 4)
+	dst.Fill(99) // must be overwritten, not accumulated
+	MulInto(dst, a, b)
+	if !Equal(dst, Mul(a, b), 1e-12) {
+		t.Fatal("MulInto disagrees with Mul")
+	}
+}
+
+func TestMulIntoShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong dst shape")
+		}
+	}()
+	MulInto(New(2, 2), New(2, 3), New(3, 4))
+}
+
+func TestFromSlicePanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong data length")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative dims")
+		}
+	}()
+	New(-1, 3)
+}
+
+func TestEmptyMatrixOps(t *testing.T) {
+	e := New(0, 0)
+	if Mean(e) != 0 || FrobeniusNorm(e) != 0 || MaxAbs(e) != 0 {
+		t.Fatal("empty matrix reductions must be 0")
+	}
+	if c := ConcatCols(); c.Rows != 0 || c.Cols != 0 {
+		t.Fatal("empty ConcatCols must be 0x0")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	small, _ := FromRows([][]float64{{1, 2}})
+	if s := small.String(); len(s) == 0 {
+		t.Fatal("empty String for small matrix")
+	}
+	big := New(30, 30)
+	if s := big.String(); s != "Dense(30x30)" {
+		t.Fatalf("large matrix should render compactly, got %q", s)
+	}
+}
+
+func TestScaleInPlaceAndFill(t *testing.T) {
+	m := New(2, 2)
+	m.Fill(3)
+	ScaleInPlace(m, 2)
+	if m.At(1, 1) != 6 {
+		t.Fatalf("ScaleInPlace got %v", m.At(1, 1))
+	}
+	m.Zero()
+	if m.At(0, 0) != 0 {
+		t.Fatal("Zero failed")
+	}
+}

@@ -1,0 +1,158 @@
+// Package metrics provides the evaluation metrics used across the AdaFGL
+// reproduction: masked accuracy, per-class confusion counts, macro-F1, and
+// aggregation helpers for multi-seed experiment cells.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion is a square class-confusion matrix: Counts[i][j] counts nodes of
+// true class i predicted as class j.
+type Confusion struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusion allocates a zeroed confusion matrix.
+func NewConfusion(classes int) *Confusion {
+	c := &Confusion{Classes: classes, Counts: make([][]int, classes)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, classes)
+	}
+	return c
+}
+
+// Add accumulates predictions over the masked nodes (mask nil = all).
+func (c *Confusion) Add(labels, pred []int, mask []bool) error {
+	if len(labels) != len(pred) {
+		return fmt.Errorf("metrics: %d labels vs %d predictions", len(labels), len(pred))
+	}
+	for i := range labels {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if labels[i] < 0 || labels[i] >= c.Classes || pred[i] < 0 || pred[i] >= c.Classes {
+			return fmt.Errorf("metrics: class out of range at %d (true %d, pred %d)", i, labels[i], pred[i])
+		}
+		c.Counts[labels[i]][pred[i]]++
+	}
+	return nil
+}
+
+// Total returns the number of accumulated samples.
+func (c *Confusion) Total() int {
+	t := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Accuracy returns the trace fraction.
+func (c *Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < c.Classes; i++ {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(t)
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores. Classes with
+// no true or predicted samples contribute F1 = 0 only if they appear in the
+// data; entirely absent classes are skipped.
+func (c *Confusion) MacroF1() float64 {
+	var sum float64
+	counted := 0
+	for k := 0; k < c.Classes; k++ {
+		tp := c.Counts[k][k]
+		fp, fn := 0, 0
+		for j := 0; j < c.Classes; j++ {
+			if j != k {
+				fp += c.Counts[j][k]
+				fn += c.Counts[k][j]
+			}
+		}
+		if tp+fp+fn == 0 {
+			continue // class absent entirely
+		}
+		counted++
+		if tp == 0 {
+			continue // F1 = 0
+		}
+		prec := float64(tp) / float64(tp+fp)
+		rec := float64(tp) / float64(tp+fn)
+		sum += 2 * prec * rec / (prec + rec)
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// Accuracy computes masked argmax accuracy directly from predictions.
+func Accuracy(labels, pred []int, mask []bool) float64 {
+	correct, total := 0, 0
+	for i := range labels {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		total++
+		if labels[i] == pred[i] {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// MeanStd returns the sample mean and (n-1) standard deviation.
+func MeanStd(v []float64) (mean, std float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	if len(v) < 2 {
+		return mean, 0
+	}
+	for _, x := range v {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(v)-1))
+}
+
+// Pearson returns the Pearson correlation of two equal-length series, the
+// statistic behind the Fig. 7 "HCS tracks homophily" claim.
+func Pearson(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) < 2 {
+		return 0, fmt.Errorf("metrics: need >= 2 points")
+	}
+	ma, _ := MeanStd(a)
+	mb, _ := MeanStd(b)
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, fmt.Errorf("metrics: zero variance")
+	}
+	return cov / math.Sqrt(va*vb), nil
+}

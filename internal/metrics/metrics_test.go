@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionAccuracy(t *testing.T) {
+	c := NewConfusion(2)
+	if err := c.Add([]int{0, 0, 1, 1}, []int{0, 1, 1, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("accuracy = %v, want 0.75", got)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}
+
+func TestConfusionMasked(t *testing.T) {
+	c := NewConfusion(2)
+	if err := c.Add([]int{0, 1}, []int{1, 1}, []bool{false, true}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 1 || c.Accuracy() != 1 {
+		t.Fatalf("masked accumulation wrong: total %d acc %v", c.Total(), c.Accuracy())
+	}
+}
+
+func TestConfusionErrors(t *testing.T) {
+	c := NewConfusion(2)
+	if err := c.Add([]int{0}, []int{0, 1}, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if err := c.Add([]int{5}, []int{0}, nil); err == nil {
+		t.Fatal("out-of-range class must error")
+	}
+}
+
+func TestMacroF1PerfectAndWorst(t *testing.T) {
+	c := NewConfusion(3)
+	if err := c.Add([]int{0, 1, 2}, []int{0, 1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MacroF1(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect MacroF1 = %v", got)
+	}
+	w := NewConfusion(2)
+	if err := w.Add([]int{0, 1}, []int{1, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MacroF1(); got != 0 {
+		t.Fatalf("all-wrong MacroF1 = %v", got)
+	}
+}
+
+func TestMacroF1Imbalanced(t *testing.T) {
+	// Class 0: 3 true all correct. Class 1: 1 true, predicted 0.
+	c := NewConfusion(2)
+	if err := c.Add([]int{0, 0, 0, 1}, []int{0, 0, 0, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// F1(0): prec 3/4, rec 1 → 6/7. F1(1): 0. Macro = 3/7.
+	want := (6.0/7.0 + 0) / 2
+	if got := c.MacroF1(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MacroF1 = %v, want %v", got, want)
+	}
+}
+
+func TestMacroF1SkipsAbsentClasses(t *testing.T) {
+	c := NewConfusion(5)
+	if err := c.Add([]int{0, 1}, []int{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MacroF1(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MacroF1 with absent classes = %v, want 1", got)
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	if got := Accuracy([]int{0, 1, 1}, []int{0, 1, 0}, nil); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := Accuracy(nil, nil, nil); got != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-12 {
+		t.Fatalf("mean = %v", m)
+	}
+	if math.Abs(s-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("std = %v", s)
+	}
+	if _, s := MeanStd([]float64{3}); s != 0 {
+		t.Fatal("single sample std must be 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	r, err := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", r)
+	}
+	r, err = Pearson([]float64{1, 2, 3}, []float64{3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", r)
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("too few points must error")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("zero variance must error")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+// Property: confusion accuracy equals direct accuracy for random data.
+func TestQuickConfusionMatchesAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := 1+rng.Intn(50), 2+rng.Intn(5)
+		labels := make([]int, n)
+		pred := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(k)
+			pred[i] = rng.Intn(k)
+		}
+		c := NewConfusion(k)
+		if err := c.Add(labels, pred, nil); err != nil {
+			return false
+		}
+		return math.Abs(c.Accuracy()-Accuracy(labels, pred, nil)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MacroF1 is within [0, 1].
+func TestQuickMacroF1Bounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := 1+rng.Intn(30), 2+rng.Intn(4)
+		labels := make([]int, n)
+		pred := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(k)
+			pred[i] = rng.Intn(k)
+		}
+		c := NewConfusion(k)
+		if err := c.Add(labels, pred, nil); err != nil {
+			return false
+		}
+		f1 := c.MacroF1()
+		return f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

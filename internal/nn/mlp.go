@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// MLP is a multi-layer perceptron: Linear → ReLU → Dropout repeated, with a
+// final Linear producing logits. It is the MessageUpdater of Eq. (7), the
+// topology-independent feature encoder of Eq. (10) and the message encoder of
+// Eq. (11) in the AdaFGL paper, and the client model of several baselines.
+type MLP struct {
+	Layers   []*Linear
+	acts     []*ReLU
+	drops    []*Dropout
+	training bool
+}
+
+// NewMLP builds an MLP with the given layer dimensions, e.g.
+// dims = [in, hidden, out] for a two-layer network.
+func NewMLP(name string, dims []int, dropout float64, rng *rand.Rand) *MLP {
+	if len(dims) < 2 {
+		panic(fmt.Sprintf("nn: MLP needs >= 2 dims, got %v", dims))
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(dims); i++ {
+		m.Layers = append(m.Layers, NewLinear(fmt.Sprintf("%s.l%d", name, i), dims[i], dims[i+1], rng))
+		if i+2 < len(dims) {
+			m.acts = append(m.acts, &ReLU{})
+			m.drops = append(m.drops, NewDropout(dropout, rng))
+		}
+	}
+	return m
+}
+
+// Params implements Module.
+func (m *MLP) Params() []*Parameter {
+	var out []*Parameter
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// SetTraining toggles dropout.
+func (m *MLP) SetTraining(train bool) { m.training = train }
+
+// Forward runs the network, caching activations for Backward.
+func (m *MLP) Forward(x *matrix.Dense) *matrix.Dense {
+	h := x
+	for i, l := range m.Layers {
+		h = l.Forward(h)
+		if i < len(m.acts) {
+			h = m.acts[i].Forward(h)
+			h = m.drops[i].Forward(h, m.training)
+		}
+	}
+	return h
+}
+
+// Backward backpropagates dL/dlogits through the whole stack and returns
+// dL/dinput.
+func (m *MLP) Backward(gradOut *matrix.Dense) *matrix.Dense {
+	g := gradOut
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		if i < len(m.acts) {
+			g = m.drops[i].Backward(g)
+			g = m.acts[i].Backward(g)
+		}
+		g = m.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// OutDim returns the output dimension of the final layer.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].W.Value.Cols }
+
+// InDim returns the expected input dimension.
+func (m *MLP) InDim() int { return m.Layers[0].W.Value.Rows }

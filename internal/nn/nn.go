@@ -1,0 +1,357 @@
+// Package nn implements the neural-network training substrate for the AdaFGL
+// reproduction: parameters with gradients, linear layers, activations,
+// dropout, softmax cross-entropy, optimisers (SGD, Adam) and parameter
+// (de)serialisation for federated model transport. Backpropagation is manual:
+// each layer caches its forward inputs and exposes Backward.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// Parameter is a trainable tensor with an accumulated gradient.
+type Parameter struct {
+	Name  string
+	Value *matrix.Dense
+	Grad  *matrix.Dense
+}
+
+// NewParameter allocates a named rows x cols parameter with a zero gradient.
+func NewParameter(name string, rows, cols int) *Parameter {
+	return &Parameter{Name: name, Value: matrix.New(rows, cols), Grad: matrix.New(rows, cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Parameter) ZeroGrad() { p.Grad.Zero() }
+
+// Module is anything exposing trainable parameters.
+type Module interface {
+	Params() []*Parameter
+}
+
+// ZeroGrads clears gradients of every parameter of m.
+func ZeroGrads(m Module) {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total scalar parameter count of m.
+func NumParams(m Module) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Value.Data)
+	}
+	return n
+}
+
+// Flatten serialises all parameter values of m into one vector, the unit of
+// federated communication (model upload/broadcast).
+func Flatten(m Module) []float64 {
+	out := make([]float64, 0, NumParams(m))
+	for _, p := range m.Params() {
+		out = append(out, p.Value.Data...)
+	}
+	return out
+}
+
+// Unflatten loads a vector produced by Flatten back into m's parameters.
+func Unflatten(m Module, v []float64) error {
+	off := 0
+	for _, p := range m.Params() {
+		n := len(p.Value.Data)
+		if off+n > len(v) {
+			return fmt.Errorf("nn: Unflatten vector too short: have %d, need >= %d", len(v), off+n)
+		}
+		copy(p.Value.Data, v[off:off+n])
+		off += n
+	}
+	if off != len(v) {
+		return fmt.Errorf("nn: Unflatten vector too long: %d values for %d params", len(v), off)
+	}
+	return nil
+}
+
+// FlattenGrads serialises all gradients of m (GCFL+ clusters on gradients).
+func FlattenGrads(m Module) []float64 {
+	out := make([]float64, 0, NumParams(m))
+	for _, p := range m.Params() {
+		out = append(out, p.Grad.Data...)
+	}
+	return out
+}
+
+// Linear is a fully connected layer y = x·W + b.
+type Linear struct {
+	W *Parameter // in x out
+	B *Parameter // 1 x out
+
+	lastInput *matrix.Dense
+}
+
+// NewLinear creates a Linear layer with Xavier-uniform weights.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		W: NewParameter(name+".W", in, out),
+		B: NewParameter(name+".B", 1, out),
+	}
+	matrix.XavierUniform(l.W.Value, rng)
+	return l
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Parameter { return []*Parameter{l.W, l.B} }
+
+// Forward computes x·W + b, caching x for Backward.
+func (l *Linear) Forward(x *matrix.Dense) *matrix.Dense {
+	l.lastInput = x
+	out := matrix.Mul(x, l.W.Value)
+	matrix.AddRowVector(out, l.B.Value.Data)
+	return out
+}
+
+// Backward accumulates dL/dW and dL/db from dL/dy and returns dL/dx.
+func (l *Linear) Backward(gradOut *matrix.Dense) *matrix.Dense {
+	if l.lastInput == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	matrix.AddInPlace(l.W.Grad, matrix.TMul(l.lastInput, gradOut))
+	bias := matrix.ColSums(gradOut)
+	for j, v := range bias {
+		l.B.Grad.Data[j] += v
+	}
+	return matrix.MulT(gradOut, l.W.Value) // gradOut · Wᵀ
+}
+
+// ReLU is the rectified linear activation with cached mask.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward returns max(x, 0) elementwise.
+func (r *ReLU) Forward(x *matrix.Dense) *matrix.Dense {
+	out := matrix.New(x.Rows, x.Cols)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward zeroes gradient where the forward input was non-positive.
+func (r *ReLU) Backward(gradOut *matrix.Dense) *matrix.Dense {
+	out := matrix.New(gradOut.Rows, gradOut.Cols)
+	for i, v := range gradOut.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Dropout zeroes activations with probability P during training and rescales
+// survivors by 1/(1-P) (inverted dropout).
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout creates a Dropout layer; p outside (0,1) disables it.
+func NewDropout(p float64, rng *rand.Rand) *Dropout { return &Dropout{P: p, rng: rng} }
+
+// Forward applies dropout when train is true; identity otherwise.
+func (d *Dropout) Forward(x *matrix.Dense, train bool) *matrix.Dense {
+	if !train || d.P <= 0 || d.P >= 1 {
+		d.mask = nil
+		return x
+	}
+	out := matrix.New(x.Rows, x.Cols)
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float64, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units.
+func (d *Dropout) Backward(gradOut *matrix.Dense) *matrix.Dense {
+	if d.mask == nil {
+		return gradOut
+	}
+	out := matrix.New(gradOut.Rows, gradOut.Cols)
+	for i, v := range gradOut.Data {
+		out.Data[i] = v * d.mask[i]
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean masked cross-entropy between
+// row-softmaxed logits and integer labels, plus dL/dlogits. Only rows with
+// mask true contribute; the gradient of other rows is zero. Returns loss 0
+// and a zero gradient when the mask is empty.
+func SoftmaxCrossEntropy(logits *matrix.Dense, labels []int, mask []bool) (float64, *matrix.Dense) {
+	probs := matrix.SoftmaxRows(logits)
+	grad := matrix.New(logits.Rows, logits.Cols)
+	count := 0
+	var loss float64
+	for i := 0; i < logits.Rows; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		count++
+		c := labels[i]
+		p := probs.At(i, c)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		grow := grad.Row(i)
+		prow := probs.Row(i)
+		copy(grow, prow)
+		grow[c] -= 1
+	}
+	if count == 0 {
+		return 0, grad
+	}
+	inv := 1 / float64(count)
+	loss *= inv
+	matrix.ScaleInPlace(grad, inv)
+	return loss, grad
+}
+
+// MSELoss computes mean squared error ‖a-b‖²/(n) and dL/da.
+func MSELoss(a, b *matrix.Dense) (float64, *matrix.Dense) {
+	if !matrix.SameShape(a, b) {
+		panic("nn: MSELoss shape mismatch")
+	}
+	n := float64(len(a.Data))
+	if n == 0 {
+		return 0, matrix.New(a.Rows, a.Cols)
+	}
+	grad := matrix.New(a.Rows, a.Cols)
+	var loss float64
+	for i, v := range a.Data {
+		d := v - b.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// Optimizer updates module parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(m Module)
+}
+
+// SGD is stochastic gradient descent with optional L2 weight decay.
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// Step applies one SGD update.
+func (o *SGD) Step(m Module) {
+	for _, p := range m.Params() {
+		for i, g := range p.Grad.Data {
+			if o.WeightDecay > 0 {
+				g += o.WeightDecay * p.Value.Data[i]
+			}
+			p.Value.Data[i] -= o.LR * g
+		}
+	}
+}
+
+// Adam implements the Adam optimiser (Kingma & Ba) with per-parameter state
+// keyed by parameter identity.
+type Adam struct {
+	LR, Beta1, Beta2, Eps, WeightDecay float64
+
+	t     int
+	state map[*Parameter]*adamState
+}
+
+type adamState struct{ m, v []float64 }
+
+// NewAdam returns an Adam optimiser with the standard defaults.
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		state: make(map[*Parameter]*adamState)}
+}
+
+// Step applies one Adam update to every parameter of m.
+func (o *Adam) Step(m Module) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range m.Params() {
+		st := o.state[p]
+		if st == nil {
+			st = &adamState{m: make([]float64, len(p.Value.Data)), v: make([]float64, len(p.Value.Data))}
+			o.state[p] = st
+		}
+		for i, g := range p.Grad.Data {
+			if o.WeightDecay > 0 {
+				g += o.WeightDecay * p.Value.Data[i]
+			}
+			st.m[i] = o.Beta1*st.m[i] + (1-o.Beta1)*g
+			st.v[i] = o.Beta2*st.v[i] + (1-o.Beta2)*g*g
+			mHat := st.m[i] / bc1
+			vHat := st.v[i] / bc2
+			p.Value.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients of m so their global L2 norm does not
+// exceed maxNorm; returns the pre-clip norm.
+func ClipGradNorm(m Module, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range m.Params() {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range m.Params() {
+			matrix.ScaleInPlace(p.Grad, scale)
+		}
+	}
+	return norm
+}
+
+// ParamGroup aggregates several modules into one Module (for joint
+// optimisation of decoupled components, e.g. AdaFGL Step 2).
+type ParamGroup []Module
+
+// Params implements Module.
+func (g ParamGroup) Params() []*Parameter {
+	var out []*Parameter
+	for _, m := range g {
+		out = append(out, m.Params()...)
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+// Package sparse implements compressed sparse row (CSR) matrices for graph
+// adjacency structures, including the generalized degree normalisation
+// D^{r-1}·Â·D^{-r} from Eq. (1) of the AdaFGL paper and sparse-dense matrix
+// multiplication (SpMM), the hot path of every GNN in this repository.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// CSR is a sparse matrix in compressed sparse row format. Column indices
+// within each row are sorted ascending and unique.
+type CSR struct {
+	NRows, NCols int
+	RowPtr       []int     // len NRows+1
+	ColIdx       []int     // len nnz
+	Val          []float64 // len nnz
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// Coord is a coordinate-format entry used to assemble CSR matrices.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// FromCoords builds an nRows x nCols CSR matrix from coordinate entries.
+// Duplicate (row, col) pairs are summed. Entries summing to exactly zero are
+// kept (callers that want pruning can use Prune).
+func FromCoords(nRows, nCols int, entries []Coord) *CSR {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= nRows || e.Col < 0 || e.Col >= nCols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d", e.Row, e.Col, nRows, nCols))
+		}
+	}
+	sorted := make([]Coord, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{NRows: nRows, NCols: nCols, RowPtr: make([]int, nRows+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, sorted[i].Col)
+		m.Val = append(m.Val, v)
+		m.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < nRows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// FromEdges builds an n x n unweighted adjacency CSR from an undirected edge
+// list. Each edge {u,v} contributes entries (u,v) and (v,u) with value 1;
+// self-loops contribute a single diagonal 1. Duplicate edges collapse to a
+// single unit entry.
+func FromEdges(n int, edges [][2]int) *CSR {
+	seen := make(map[[2]int]bool, 2*len(edges))
+	coords := make([]Coord, 0, 2*len(edges))
+	add := func(u, v int) {
+		k := [2]int{u, v}
+		if !seen[k] {
+			seen[k] = true
+			coords = append(coords, Coord{u, v, 1})
+		}
+	}
+	for _, e := range edges {
+		add(e[0], e[1])
+		if e[0] != e[1] {
+			add(e[1], e[0])
+		}
+	}
+	return FromCoords(n, n, coords)
+}
+
+// Clone returns a deep copy.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{
+		NRows: m.NRows, NCols: m.NCols,
+		RowPtr: make([]int, len(m.RowPtr)),
+		ColIdx: make([]int, len(m.ColIdx)),
+		Val:    make([]float64, len(m.Val)),
+	}
+	copy(c.RowPtr, m.RowPtr)
+	copy(c.ColIdx, m.ColIdx)
+	copy(c.Val, m.Val)
+	return c
+}
+
+// At returns element (i, j) via binary search within row i.
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	idx := sort.SearchInts(m.ColIdx[lo:hi], j)
+	if lo+idx < hi && m.ColIdx[lo+idx] == j {
+		return m.Val[lo+idx]
+	}
+	return 0
+}
+
+// Row returns views of the column indices and values in row i.
+func (m *CSR) Row(i int) (cols []int, vals []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// RowDegree returns the number of stored entries in row i.
+func (m *CSR) RowDegree(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// Degrees returns the per-row sums of values — for an unweighted adjacency
+// matrix this is the node degree (self-loop counted once).
+func (m *CSR) Degrees() []float64 {
+	d := make([]float64, m.NRows)
+	for i := 0; i < m.NRows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		var s float64
+		for _, v := range m.Val[lo:hi] {
+			s += v
+		}
+		d[i] = s
+	}
+	return d
+}
+
+// WithSelfLoops returns a copy of m (square) with the diagonal set to at
+// least 1 (Â = A + I semantics: existing diagonal entries are left alone).
+func (m *CSR) WithSelfLoops() *CSR {
+	if m.NRows != m.NCols {
+		panic("sparse: WithSelfLoops requires a square matrix")
+	}
+	coords := make([]Coord, 0, m.NNZ()+m.NRows)
+	for i := 0; i < m.NRows; i++ {
+		cols, vals := m.Row(i)
+		hasDiag := false
+		for k, c := range cols {
+			coords = append(coords, Coord{i, c, vals[k]})
+			if c == i {
+				hasDiag = true
+			}
+		}
+		if !hasDiag {
+			coords = append(coords, Coord{i, i, 1})
+		}
+	}
+	return FromCoords(m.NRows, m.NCols, coords)
+}
+
+// NormKind selects the degree-normalisation variant of Eq. (1).
+type NormKind int
+
+const (
+	// NormSym is D^{-1/2} Â D^{-1/2} (GCN, r = 1/2).
+	NormSym NormKind = iota
+	// NormRW is Â D^{-1} (random walk, r = 1).
+	NormRW
+	// NormReverse is D^{-1} Â (reverse transition, r = 0).
+	NormReverse
+)
+
+// Normalized returns the degree-normalised version of m per Eq. (1),
+// D^{r-1}·Â·D^{-r}. m should already include self-loops for GCN semantics
+// (use WithSelfLoops). Zero-degree rows are left as zero rows.
+func (m *CSR) Normalized(kind NormKind) *CSR {
+	deg := m.Degrees()
+	out := m.Clone()
+	for i := 0; i < out.NRows; i++ {
+		lo, hi := out.RowPtr[i], out.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			j := out.ColIdx[k]
+			di, dj := deg[i], deg[j]
+			switch kind {
+			case NormSym:
+				if di > 0 && dj > 0 {
+					out.Val[k] /= sqrt(di) * sqrt(dj)
+				} else {
+					out.Val[k] = 0
+				}
+			case NormRW:
+				// Â D^{-r} with r=1: divide by column degree.
+				if dj > 0 {
+					out.Val[k] /= dj
+				} else {
+					out.Val[k] = 0
+				}
+			case NormReverse:
+				// D^{r-1} Â with r=0: divide by row degree.
+				if di > 0 {
+					out.Val[k] /= di
+				} else {
+					out.Val[k] = 0
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// MulDense computes m · x (SpMM) into a new dense matrix.
+func (m *CSR) MulDense(x *matrix.Dense) *matrix.Dense {
+	if m.NCols != x.Rows {
+		panic(fmt.Sprintf("sparse: MulDense %dx%d · %dx%d", m.NRows, m.NCols, x.Rows, x.Cols))
+	}
+	out := matrix.New(m.NRows, x.Cols)
+	m.MulDenseInto(out, x)
+	return out
+}
+
+// MulDenseInto computes dst = m·x. dst must be m.NRows x x.Cols and must not
+// alias x.
+func (m *CSR) MulDenseInto(dst, x *matrix.Dense) {
+	if m.NCols != x.Rows || dst.Rows != m.NRows || dst.Cols != x.Cols {
+		panic("sparse: MulDenseInto shape mismatch")
+	}
+	dst.Zero()
+	p := x.Cols
+	for i := 0; i < m.NRows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		drow := dst.Data[i*p : (i+1)*p]
+		for k := lo; k < hi; k++ {
+			v := m.Val[k]
+			xrow := x.Data[m.ColIdx[k]*p : (m.ColIdx[k]+1)*p]
+			for j, xv := range xrow {
+				drow[j] += v * xv
+			}
+		}
+	}
+}
+
+// MulVec computes m · v for a dense vector v.
+func (m *CSR) MulVec(v []float64) []float64 {
+	if m.NCols != len(v) {
+		panic("sparse: MulVec length mismatch")
+	}
+	out := make([]float64, m.NRows)
+	for i := 0; i < m.NRows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += m.Val[k] * v[m.ColIdx[k]]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *CSR) Transpose() *CSR {
+	coords := make([]Coord, 0, m.NNZ())
+	for i := 0; i < m.NRows; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			coords = append(coords, Coord{c, i, vals[k]})
+		}
+	}
+	return FromCoords(m.NCols, m.NRows, coords)
+}
+
+// Dense converts m to a dense matrix (for tests and small P matrices).
+func (m *CSR) Dense() *matrix.Dense {
+	out := matrix.New(m.NRows, m.NCols)
+	for i := 0; i < m.NRows; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			out.Set(i, c, vals[k])
+		}
+	}
+	return out
+}
+
+// Prune returns a copy of m with entries |v| <= tol removed.
+func (m *CSR) Prune(tol float64) *CSR {
+	coords := make([]Coord, 0, m.NNZ())
+	for i := 0; i < m.NRows; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			if vals[k] > tol || vals[k] < -tol {
+				coords = append(coords, Coord{i, c, vals[k]})
+			}
+		}
+	}
+	return FromCoords(m.NRows, m.NCols, coords)
+}
+
+// Submatrix returns the square submatrix induced by keeping the given rows
+// and the same columns (for node-induced subgraphs). idx values must be
+// unique and in range; the i-th row/col of the result corresponds to idx[i].
+func (m *CSR) Submatrix(idx []int) *CSR {
+	if m.NRows != m.NCols {
+		panic("sparse: Submatrix requires a square matrix")
+	}
+	remap := make(map[int]int, len(idx))
+	for newID, old := range idx {
+		remap[old] = newID
+	}
+	coords := make([]Coord, 0)
+	for newRow, old := range idx {
+		cols, vals := m.Row(old)
+		for k, c := range cols {
+			if nc, ok := remap[c]; ok {
+				coords = append(coords, Coord{newRow, nc, vals[k]})
+			}
+		}
+	}
+	return FromCoords(len(idx), len(idx), coords)
+}
