@@ -1,0 +1,33 @@
+# Targets mirror .github/workflows/ci.yml job for job so local runs and CI
+# stay in lockstep.
+
+GO ?= go
+
+.PHONY: all build lint test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# Race-detector coverage of the concurrent paths (worker pool, federated
+# fan-out, AdaFGL Step-2 fan-out, parallel kernels), matching the CI "race"
+# job.
+race:
+	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/core/... ./internal/matrix/... ./internal/sparse/...
+
+# Smoke bench: every benchmark once, output preserved as the BENCH artifact.
+# File-then-cat instead of tee so a failing benchmark fails the target.
+bench:
+	@$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench-smoke.txt 2>&1; \
+	status=$$?; cat bench-smoke.txt; exit $$status
+
+ci: build lint test race bench

@@ -9,9 +9,20 @@
 package repro_test
 
 import (
+	"fmt"
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/federated"
+	"repro/internal/matrix"
+	"repro/internal/models"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+
+	"repro/internal/datasets"
 )
 
 // benchScale keeps testing.B iterations affordable while exercising the
@@ -54,3 +65,131 @@ func BenchmarkFig8ConvergenceLarge(b *testing.B)     { runExp(b, "fig8") }
 func BenchmarkFig9ConvergenceSmall(b *testing.B)     { runExp(b, "fig9") }
 func BenchmarkFig10Sparsity(b *testing.B)            { runExp(b, "fig10") }
 func BenchmarkFig11SparseParticipation(b *testing.B) { runExp(b, "fig11") }
+
+// ---- BenchmarkParallel*: worker-count scaling of the hot substrate paths.
+// Each benchmark runs the identical computation under workers=1 (serial
+// baseline) and workers=GOMAXPROCS, so the speedup is directly readable from
+// the trajectory; outputs are bit-identical by construction.
+
+// workerCounts returns the sweep [1, GOMAXPROCS] (deduplicated on 1-core
+// machines).
+func workerCounts() []int {
+	n := runtime.GOMAXPROCS(0)
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+// benchGraphCSR builds a smoke-scale normalized adjacency and feature matrix
+// comparable to one federated client's propagation workload.
+func benchGraphCSR(n, perRow, feats int) (*sparse.CSR, *matrix.Dense) {
+	rng := rand.New(rand.NewSource(7))
+	coords := make([]sparse.Coord, 0, n*perRow)
+	for i := 0; i < n; i++ {
+		for k := 0; k < perRow; k++ {
+			coords = append(coords, sparse.Coord{Row: i, Col: rng.Intn(n), Val: 1})
+		}
+	}
+	adj := sparse.FromCoords(n, n, coords).WithSelfLoops().Normalized(sparse.NormSym)
+	x := matrix.New(n, feats)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return adj, x
+}
+
+// BenchmarkParallelSparsePropagation measures K-step normalized-adjacency
+// feature smoothing (Eq. 7's hot loop) across worker counts.
+func BenchmarkParallelSparsePropagation(b *testing.B) {
+	adj, x := benchGraphCSR(20000, 10, 32)
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			orig := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(orig)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cur := x
+				for k := 0; k < 3; k++ {
+					cur = adj.MulDense(cur)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSpMV measures sparse mat-vec across worker counts.
+func BenchmarkParallelSpMV(b *testing.B) {
+	adj, _ := benchGraphCSR(50000, 10, 1)
+	v := make([]float64, 50000)
+	rng := rand.New(rand.NewSource(8))
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			orig := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(orig)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = adj.MulVec(v)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelGEMM measures dense matrix multiplication across worker
+// counts at a size typical of a full-graph forward pass.
+func BenchmarkParallelGEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	a := matrix.New(1024, 256)
+	c := matrix.New(256, 256)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range c.Data {
+		c.Data[i] = rng.NormFloat64()
+	}
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			orig := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(orig)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = matrix.Mul(a, c)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelFederatedRound measures one FedAvg round with concurrent
+// per-client local training across worker counts.
+func BenchmarkParallelFederatedRound(b *testing.B) {
+	spec, err := datasets.ByName("Cora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			orig := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(orig)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := datasets.GenerateScaled(spec, 0.3, 5)
+				cd := partition.CommunitySplit(g, 8, rand.New(rand.NewSource(5)))
+				cfg := models.DefaultConfig()
+				cfg.Hidden = 32
+				clients := federated.BuildClients(cd.Subgraphs, models.Registry["GCN"], cfg, 5)
+				srv := federated.NewServer(clients, 6)
+				o := federated.DefaultOptions()
+				o.Rounds = 1
+				o.LocalEpochs = 3
+				b.StartTimer()
+				if _, err := srv.Run(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -28,8 +29,10 @@ func main() {
 		epochs  = flag.Int("epochs", 0, "local epochs override")
 		runs    = flag.Int("runs", 0, "seeds per cell override")
 		seed    = flag.Int64("seed", 0, "base seed override")
+		workers = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	if *list {
 		for _, id := range bench.IDs() {

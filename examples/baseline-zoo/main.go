@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,10 +16,15 @@ import (
 	"repro/internal/fgl"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
+	flag.Parse()
+	parallel.SetWorkers(*workers)
+
 	cfg := models.DefaultConfig()
 	cfg.Hidden = 32
 	cfg.Dropout = 0

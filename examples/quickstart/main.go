@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -14,10 +15,15 @@ import (
 	"repro/internal/fgl"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
+	flag.Parse()
+	parallel.SetWorkers(*workers)
+
 	// 1. Synthesise the global graph (Cora statistics, scaled down).
 	spec, err := datasets.ByName("Cora")
 	if err != nil {

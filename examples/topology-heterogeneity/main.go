@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -14,10 +15,15 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/federated"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
+	flag.Parse()
+	parallel.SetWorkers(*workers)
+
 	spec, err := datasets.ByName("Cora")
 	if err != nil {
 		log.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
 
@@ -98,42 +99,61 @@ func (a *AdaFGL) Run(subgraphs []*graph.Graph, cfg models.Config, fedOpt federat
 	a.Reports = a.Reports[:0]
 
 	// ---- Step 2: per-client personalized training. ----
+	// Each client's Step-2 pipeline is independent and seeded from
+	// (fedOpt.Seed, ci) alone, so the fan-out below is bit-reproducible for
+	// any worker count; results land in per-client slots and are reduced
+	// sequentially in client order.
+	type step2 struct {
+		acc, w, hcs float64
+	}
+	outs := make([]step2, len(clients))
+	grp := parallel.NewGroup(parallel.Workers())
+	for ci, c := range clients {
+		grp.Go(func() error {
+			rng := rand.New(rand.NewSource(fedOpt.Seed*7919 + int64(ci)))
+			if err := nn.Unflatten(c.Model, fedRes.GlobalParams); err != nil {
+				return err
+			}
+			p := newPersonal(c.Graph, c.Model, cfg, a.Opt, rng)
+			p.train(a.Opt.Epochs)
+
+			o := step2{hcs: p.hcs}
+			if c.Graph.Eval != nil {
+				// Inductive protocol: rebuild the Step-1/Step-2 pipeline on the
+				// full evaluation graph and transplant the trained parameters.
+				evalExtractor := build(c.Graph.Eval, cfg, rand.New(rand.NewSource(fedOpt.Seed*7919+int64(ci)+500)))
+				if err := nn.Unflatten(evalExtractor, fedRes.GlobalParams); err != nil {
+					return err
+				}
+				pe := newPersonal(c.Graph.Eval, evalExtractor, cfg, a.Opt, rand.New(rand.NewSource(fedOpt.Seed*7919+int64(ci)+900)))
+				if err := nn.Unflatten(pe.modules(), nn.Flatten(p.modules())); err != nil {
+					return err
+				}
+				pe.hcs = p.hcs // the observed topology decided the combination
+				o.acc = pe.testAccuracy()
+				o.w = float64(graph.CountMask(c.Graph.Eval.TestMask))
+			} else {
+				o.acc = p.testAccuracy()
+				o.w = float64(graph.CountMask(c.Graph.TestMask))
+			}
+			outs[ci] = o
+			return nil
+		})
+	}
+	if err := grp.Wait(); err != nil {
+		return nil, err
+	}
+
 	var weighted, total float64
 	for ci, c := range clients {
-		rng := rand.New(rand.NewSource(fedOpt.Seed*7919 + int64(ci)))
-		if err := nn.Unflatten(c.Model, fedRes.GlobalParams); err != nil {
-			return nil, err
-		}
-		p := newPersonal(c.Graph, c.Model, cfg, a.Opt, rng)
-		p.train(a.Opt.Epochs)
-
-		var acc float64
-		var w float64
-		if c.Graph.Eval != nil {
-			// Inductive protocol: rebuild the Step-1/Step-2 pipeline on the
-			// full evaluation graph and transplant the trained parameters.
-			evalExtractor := build(c.Graph.Eval, cfg, rand.New(rand.NewSource(fedOpt.Seed*7919+int64(ci)+500)))
-			if err := nn.Unflatten(evalExtractor, fedRes.GlobalParams); err != nil {
-				return nil, err
-			}
-			pe := newPersonal(c.Graph.Eval, evalExtractor, cfg, a.Opt, rand.New(rand.NewSource(fedOpt.Seed*7919+int64(ci)+900)))
-			if err := nn.Unflatten(pe.modules(), nn.Flatten(p.modules())); err != nil {
-				return nil, err
-			}
-			pe.hcs = p.hcs // the observed topology decided the combination
-			acc = pe.testAccuracy()
-			w = float64(graph.CountMask(c.Graph.Eval.TestMask))
-		} else {
-			acc = p.testAccuracy()
-			w = float64(graph.CountMask(c.Graph.TestMask))
-		}
-		res.PerClient = append(res.PerClient, acc)
-		weighted += acc * w
-		total += w
+		o := outs[ci]
+		res.PerClient = append(res.PerClient, o.acc)
+		weighted += o.acc * o.w
+		total += o.w
 		a.Reports = append(a.Reports, ClientReport{
-			HCS:           p.hcs,
+			HCS:           o.hcs,
 			EdgeHomophily: c.Graph.EdgeHomophily(),
-			TestAccuracy:  acc,
+			TestAccuracy:  o.acc,
 		})
 	}
 	if total > 0 {

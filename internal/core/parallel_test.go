@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/federated"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+func adaRunWithWorkers(t *testing.T, workers int, inductive bool) (*federated.Result, []ClientReport) {
+	t.Helper()
+	orig := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(orig)
+
+	subs := adaSubgraphs(t, "Cora", 4, false, 31)
+	if inductive {
+		for i, g := range subs {
+			subs[i] = graph.MakeInductive(g)
+		}
+	}
+	cfg := quickCfg()
+	cfg.Dropout = 0.5 // exercise the per-client RNG isolation, not just pure math
+	fo := quickFed()
+	fo.Rounds = 4
+	a := &AdaFGL{Opt: quickAda()}
+	a.Opt.Epochs = 8
+	res, err := a.Run(subs, cfg, fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, a.Reports
+}
+
+// TestAdaFGLBitIdenticalAcrossWorkerCounts is the end-to-end determinism
+// contract of the whole pipeline: Step-1 federated extraction plus the
+// concurrent Step-2 personalized training must reproduce the serial run
+// exactly — same weighted accuracy, per-client accuracies and per-client
+// HCS diagnostics — because every client is seeded from (seed, client id)
+// alone and reductions happen in client order.
+func TestAdaFGLBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	serialRes, serialRep := adaRunWithWorkers(t, 1, false)
+	for _, w := range []int{2, 8} {
+		parRes, parRep := adaRunWithWorkers(t, w, false)
+		if parRes.TestAcc != serialRes.TestAcc {
+			t.Fatalf("workers=%d: TestAcc %v, serial %v", w, parRes.TestAcc, serialRes.TestAcc)
+		}
+		for ci := range parRes.PerClient {
+			if parRes.PerClient[ci] != serialRes.PerClient[ci] {
+				t.Fatalf("workers=%d: client %d acc %v, serial %v",
+					w, ci, parRes.PerClient[ci], serialRes.PerClient[ci])
+			}
+		}
+		for r := range parRes.RoundAcc {
+			if parRes.RoundAcc[r] != serialRes.RoundAcc[r] {
+				t.Fatalf("workers=%d: round %d acc %v, serial %v",
+					w, r, parRes.RoundAcc[r], serialRes.RoundAcc[r])
+			}
+		}
+		for ci := range parRep {
+			if parRep[ci].HCS != serialRep[ci].HCS {
+				t.Fatalf("workers=%d: client %d HCS %v, serial %v",
+					w, ci, parRep[ci].HCS, serialRep[ci].HCS)
+			}
+			if parRep[ci].TestAccuracy != serialRep[ci].TestAccuracy {
+				t.Fatalf("workers=%d: client %d report acc %v, serial %v",
+					w, ci, parRep[ci].TestAccuracy, serialRep[ci].TestAccuracy)
+			}
+		}
+	}
+}
+
+// TestAdaFGLInductiveBitIdenticalAcrossWorkerCounts covers the inductive
+// protocol, whose Step-2 rebuilds the pipeline on each client's evaluation
+// graph inside the fan-out.
+func TestAdaFGLInductiveBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	serialRes, _ := adaRunWithWorkers(t, 1, true)
+	parRes, _ := adaRunWithWorkers(t, 8, true)
+	if parRes.TestAcc != serialRes.TestAcc {
+		t.Fatalf("inductive: TestAcc %v, serial %v", parRes.TestAcc, serialRes.TestAcc)
+	}
+	for ci := range parRes.PerClient {
+		if parRes.PerClient[ci] != serialRes.PerClient[ci] {
+			t.Fatalf("inductive: client %d acc %v, serial %v",
+				ci, parRes.PerClient[ci], serialRes.PerClient[ci])
+		}
+	}
+}

@@ -8,10 +8,12 @@ package federated
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 )
 
 // Client is one federated participant holding a private subgraph and a
@@ -29,11 +31,17 @@ type Client struct {
 	evalRNG   *rand.Rand
 }
 
-// NewClient builds a client with its own model instance.
+// NewClient builds a client with its own model instance. The model is built
+// on a private RNG stream derived from rng, never on rng itself: the model
+// keeps drawing from its RNG at training time (dropout), so sharing one
+// source across clients would make concurrent local training racy and its
+// results dependent on scheduling order.
 func NewClient(id int, g *graph.Graph, build models.Builder, cfg models.Config, rng *rand.Rand) *Client {
+	modelRNG := rand.New(rand.NewSource(rng.Int63()))
+	evalRNG := rand.New(rand.NewSource(rng.Int63()))
 	return &Client{
-		ID: id, Graph: g, Model: build(g, cfg, rng), cfg: cfg,
-		build: build, evalRNG: rand.New(rand.NewSource(rng.Int63())),
+		ID: id, Graph: g, Model: build(g, cfg, modelRNG), cfg: cfg,
+		build: build, evalRNG: evalRNG,
 	}
 }
 
@@ -147,24 +155,43 @@ func (s *Server) Run(opt Options) (*Result, error) {
 	}
 	res.BytesPerRound = nPart * dim * 8 * 2 // upload + download
 
+	// Scratch for the parallel local-training fan-out: each participant's
+	// slot is written by exactly one goroutine and reduced sequentially in
+	// participant order, so the aggregate is bit-identical for any worker
+	// count. Every client only touches its own model, optimizer and RNGs.
+	locals := make([][]float64, len(s.Clients))
+	weights := make([]float64, len(s.Clients))
+
 	for round := 0; round < opt.Rounds; round++ {
 		perm := s.rng.Perm(len(s.Clients))
 		participants := perm[:nPart]
 
+		grp := parallel.NewGroup(parallel.Workers())
+		for slot, ci := range participants {
+			grp.Go(func() error {
+				c := s.Clients[ci]
+				if err := nn.Unflatten(c.Model, global); err != nil {
+					return fmt.Errorf("federated: broadcast to client %d: %w", c.ID, err)
+				}
+				c.TrainLocal(opt.LocalEpochs)
+				w := float64(c.TrainSize())
+				if w == 0 {
+					w = 1
+				}
+				locals[slot] = nn.Flatten(c.Model)
+				weights[slot] = w
+				return nil
+			})
+		}
+		if err := grp.Wait(); err != nil {
+			return nil, err
+		}
+
 		agg := make([]float64, dim)
 		var totalW float64
-		for _, ci := range participants {
-			c := s.Clients[ci]
-			if err := nn.Unflatten(c.Model, global); err != nil {
-				return nil, fmt.Errorf("federated: broadcast to client %d: %w", c.ID, err)
-			}
-			c.TrainLocal(opt.LocalEpochs)
-			w := float64(c.TrainSize())
-			if w == 0 {
-				w = 1
-			}
-			local := nn.Flatten(c.Model)
-			for i, v := range local {
+		for slot := range participants {
+			w := weights[slot]
+			for i, v := range locals[slot] {
 				agg[i] += w * v
 			}
 			totalW += w
@@ -177,19 +204,30 @@ func (s *Server) Run(opt Options) (*Result, error) {
 	}
 	res.GlobalParams = global
 
-	// Final broadcast + optional local correction, then evaluation.
+	// Final broadcast + optional local correction, then evaluation — again
+	// fanned out per client with a sequential weighted reduction.
+	accs := make([]float64, len(s.Clients))
+	grp := parallel.NewGroup(parallel.Workers())
+	for ci, c := range s.Clients {
+		grp.Go(func() error {
+			if err := nn.Unflatten(c.Model, global); err != nil {
+				return err
+			}
+			if opt.LocalCorrection > 0 {
+				c.TrainLocal(opt.LocalCorrection)
+			}
+			accs[ci] = c.TestAccuracy()
+			return nil
+		})
+	}
+	if err := grp.Wait(); err != nil {
+		return nil, err
+	}
 	var weighted, total float64
-	for _, c := range s.Clients {
-		if err := nn.Unflatten(c.Model, global); err != nil {
-			return nil, err
-		}
-		if opt.LocalCorrection > 0 {
-			c.TrainLocal(opt.LocalCorrection)
-		}
-		acc := c.TestAccuracy()
-		res.PerClient = append(res.PerClient, acc)
+	for ci, c := range s.Clients {
+		res.PerClient = append(res.PerClient, accs[ci])
 		w := float64(c.TestSize())
-		weighted += acc * w
+		weighted += accs[ci] * w
 		total += w
 	}
 	if total > 0 {
@@ -201,13 +239,30 @@ func (s *Server) Run(opt Options) (*Result, error) {
 // evalGlobal loads the global parameters into every client and returns the
 // test-size-weighted accuracy.
 func (s *Server) evalGlobal(global []float64) float64 {
+	accs := make([]float64, len(s.Clients))
+	var failed atomic.Bool
+	grp := parallel.NewGroup(parallel.Workers())
+	for ci, c := range s.Clients {
+		grp.Go(func() error {
+			if failed.Load() {
+				return nil // another client already sank the round; skip the work
+			}
+			if err := nn.Unflatten(c.Model, global); err != nil {
+				failed.Store(true) // evalGlobal is best-effort: report 0
+				return nil
+			}
+			accs[ci] = c.TestAccuracy()
+			return nil
+		})
+	}
+	grp.Wait()
+	if failed.Load() {
+		return 0
+	}
 	var weighted, total float64
-	for _, c := range s.Clients {
-		if err := nn.Unflatten(c.Model, global); err != nil {
-			return 0
-		}
+	for ci, c := range s.Clients {
 		w := float64(c.TestSize())
-		weighted += c.TestAccuracy() * w
+		weighted += accs[ci] * w
 		total += w
 	}
 	if total == 0 {

@@ -97,22 +97,32 @@ func TestPartialParticipation(t *testing.T) {
 }
 
 func TestLocalCorrectionImprovesClients(t *testing.T) {
-	base := coraClients(t, 4, 7)
-	srv := NewServer(base, 8)
-	o := quickOpts()
-	res, err := srv.Run(o)
-	if err != nil {
-		t.Fatal(err)
+	// Averaged over several seeds so the assertion tracks the property
+	// (correction is not harmful) rather than one lucky draw.
+	var meanBase, meanCorr float64
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, seed := range seeds {
+		base := coraClients(t, 4, seed)
+		srv := NewServer(base, seed+1)
+		o := quickOpts()
+		res, err := srv.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corrected := coraClients(t, 4, seed)
+		srv2 := NewServer(corrected, seed+1)
+		o.LocalCorrection = 10
+		res2, err := srv2.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meanBase += res.TestAcc
+		meanCorr += res2.TestAcc
 	}
-	corrected := coraClients(t, 4, 7)
-	srv2 := NewServer(corrected, 8)
-	o.LocalCorrection = 10
-	res2, err := srv2.Run(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res2.TestAcc < res.TestAcc-0.05 {
-		t.Fatalf("local correction hurt: %.3f -> %.3f", res.TestAcc, res2.TestAcc)
+	meanBase /= float64(len(seeds))
+	meanCorr /= float64(len(seeds))
+	if meanCorr < meanBase-0.05 {
+		t.Fatalf("local correction hurt on average: %.3f -> %.3f", meanBase, meanCorr)
 	}
 }
 

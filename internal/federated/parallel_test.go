@@ -1,0 +1,89 @@
+package federated
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// runWithWorkers builds a fresh 4-client federation from a fixed seed and
+// runs FedAvg under the given worker count.
+func runWithWorkers(t *testing.T, workers int) *Result {
+	t.Helper()
+	orig := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(orig)
+	clients := coraClients(t, 4, 11)
+	srv := NewServer(clients, 12)
+	o := DefaultOptions()
+	o.Rounds = 6
+	o.LocalEpochs = 2
+	o.LocalCorrection = 2
+	res, err := srv.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRunBitIdenticalAcrossWorkerCounts is the federated determinism
+// contract: the concurrent per-client fan-out must reproduce the serial
+// run exactly — identical per-round accuracies, per-client accuracies and
+// (strongest) bit-identical aggregated global parameters, which implies
+// identical local losses as well.
+func TestRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	serial := runWithWorkers(t, 1)
+	for _, w := range []int{2, 8} {
+		par := runWithWorkers(t, w)
+		if par.TestAcc != serial.TestAcc {
+			t.Fatalf("workers=%d: TestAcc %v, serial %v", w, par.TestAcc, serial.TestAcc)
+		}
+		if len(par.RoundAcc) != len(serial.RoundAcc) {
+			t.Fatalf("workers=%d: %d rounds, serial %d", w, len(par.RoundAcc), len(serial.RoundAcc))
+		}
+		for r := range par.RoundAcc {
+			if par.RoundAcc[r] != serial.RoundAcc[r] {
+				t.Fatalf("workers=%d: round %d acc %v, serial %v", w, r, par.RoundAcc[r], serial.RoundAcc[r])
+			}
+		}
+		for ci := range par.PerClient {
+			if par.PerClient[ci] != serial.PerClient[ci] {
+				t.Fatalf("workers=%d: client %d acc %v, serial %v", w, ci, par.PerClient[ci], serial.PerClient[ci])
+			}
+		}
+		for i := range par.GlobalParams {
+			if par.GlobalParams[i] != serial.GlobalParams[i] {
+				t.Fatalf("workers=%d: global param %d = %v, serial %v", w, i, par.GlobalParams[i], serial.GlobalParams[i])
+			}
+		}
+	}
+}
+
+// TestRunDeterministicUnderPartialParticipation covers the sampled-client
+// path: participation sampling happens on the server goroutine, so worker
+// count must not change which clients train.
+func TestRunDeterministicUnderPartialParticipation(t *testing.T) {
+	run := func(workers int) *Result {
+		orig := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(orig)
+		clients := coraClients(t, 5, 21)
+		srv := NewServer(clients, 22)
+		o := DefaultOptions()
+		o.Rounds = 5
+		o.LocalEpochs = 1
+		o.Participation = 0.4
+		res, err := srv.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, par := run(1), run(8)
+	for i := range par.GlobalParams {
+		if par.GlobalParams[i] != serial.GlobalParams[i] {
+			t.Fatalf("partial participation: param %d = %v, serial %v", i, par.GlobalParams[i], serial.GlobalParams[i])
+		}
+	}
+	if par.TestAcc != serial.TestAcc {
+		t.Fatalf("partial participation: TestAcc %v, serial %v", par.TestAcc, serial.TestAcc)
+	}
+}

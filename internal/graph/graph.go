@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/matrix"
 	"repro/internal/sparse"
@@ -32,7 +33,8 @@ type Graph struct {
 	// and their edges). Transductive graphs leave Eval nil.
 	Eval *Graph
 
-	adj *sparse.CSR // lazily built
+	adjMu sync.Mutex  // guards adj: clients may share a graph across goroutines
+	adj   *sparse.CSR // lazily built
 }
 
 // New assembles a graph, canonicalising the edge list (deduplicated, u <= v).
@@ -79,8 +81,11 @@ func Canonicalize(edges [][2]int) [][2]int {
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return len(g.Edges) }
 
-// Adj returns the symmetric adjacency CSR (cached).
+// Adj returns the symmetric adjacency CSR (cached; safe for concurrent use
+// as long as the topology is not mutated concurrently).
 func (g *Graph) Adj() *sparse.CSR {
+	g.adjMu.Lock()
+	defer g.adjMu.Unlock()
 	if g.adj == nil {
 		g.adj = sparse.FromEdges(g.N, g.Edges)
 	}
@@ -88,7 +93,11 @@ func (g *Graph) Adj() *sparse.CSR {
 }
 
 // InvalidateAdj drops the cached adjacency after a topology mutation.
-func (g *Graph) InvalidateAdj() { g.adj = nil }
+func (g *Graph) InvalidateAdj() {
+	g.adjMu.Lock()
+	g.adj = nil
+	g.adjMu.Unlock()
+}
 
 // NormAdj returns the self-looped, normalised adjacency Ã per Eq. (1).
 func (g *Graph) NormAdj(kind sparse.NormKind) *sparse.CSR {

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
 // Dense is a dense row-major matrix of float64 values.
@@ -124,39 +126,44 @@ func MulInto(dst, a, b *Dense) {
 	}
 	dst.Zero()
 	n, k, p := a.Rows, a.Cols, b.Cols
-	// i-k-j loop order streams through b and dst rows for cache locality.
-	for i := 0; i < n; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		drow := dst.Data[i*p : (i+1)*p]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[kk*p : (kk+1)*p]
-			for j, bv := range brow {
-				drow[j] += av * bv
+	// i-k-j loop order streams through b and dst rows for cache locality;
+	// row blocks write disjoint dst rows, so the parallel path is exact.
+	parallel.ForWork(n, n*k*p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*p : (i+1)*p]
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[kk*p : (kk+1)*p]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MulT returns a * bᵀ, useful for similarity matrices H·Hᵀ.
 func MulT(a, b *Dense) *Dense {
 	shapeCheck(a.Cols == b.Cols, "MulT", a, b)
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for t, av := range arow {
-				s += av * brow[t]
+	parallel.ForWork(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for t, av := range arow {
+					s += av * brow[t]
+				}
+				orow[j] = s
 			}
-			orow[j] = s
 		}
-	}
+	})
 	return out
 }
 
@@ -165,19 +172,25 @@ func TMul(a, b *Dense) *Dense {
 	shapeCheck(a.Rows == b.Rows, "TMul", a, b)
 	out := New(a.Cols, b.Cols)
 	p := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		brow := b.Row(i)
-		for t, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[t*p : (t+1)*p]
-			for j, bv := range brow {
-				orow[j] += av * bv
+	// Parallelized over out rows (a's columns): each block owns a disjoint
+	// stripe of out, and for a fixed t the accumulation order over i is the
+	// same ascending order as the serial loop, keeping results exact.
+	parallel.ForWork(a.Cols, a.Rows*a.Cols*b.Cols, func(tlo, thi int) {
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			brow := b.Row(i)
+			for t := tlo; t < thi; t++ {
+				av := arow[t]
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[t*p : (t+1)*p]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -196,35 +209,43 @@ func Transpose(m *Dense) *Dense {
 func Add(a, b *Dense) *Dense {
 	shapeCheck(SameShape(a, b), "Add", a, b)
 	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v + b.Data[i]
-	}
+	parallel.ForWork(len(a.Data), len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] + b.Data[i]
+		}
+	})
 	return out
 }
 
 // AddInPlace computes a += b.
 func AddInPlace(a, b *Dense) {
 	shapeCheck(SameShape(a, b), "AddInPlace", a, b)
-	for i, v := range b.Data {
-		a.Data[i] += v
-	}
+	parallel.ForWork(len(a.Data), len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] += b.Data[i]
+		}
+	})
 }
 
 // AddScaled computes a += s*b.
 func AddScaled(a *Dense, s float64, b *Dense) {
 	shapeCheck(SameShape(a, b), "AddScaled", a, b)
-	for i, v := range b.Data {
-		a.Data[i] += s * v
-	}
+	parallel.ForWork(len(a.Data), len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] += s * b.Data[i]
+		}
+	})
 }
 
 // Sub returns a-b.
 func Sub(a, b *Dense) *Dense {
 	shapeCheck(SameShape(a, b), "Sub", a, b)
 	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v - b.Data[i]
-	}
+	parallel.ForWork(len(a.Data), len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] - b.Data[i]
+		}
+	})
 	return out
 }
 
@@ -232,18 +253,22 @@ func Sub(a, b *Dense) *Dense {
 func Hadamard(a, b *Dense) *Dense {
 	shapeCheck(SameShape(a, b), "Hadamard", a, b)
 	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v * b.Data[i]
-	}
+	parallel.ForWork(len(a.Data), len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * b.Data[i]
+		}
+	})
 	return out
 }
 
 // Scale returns s*m as a new matrix.
 func Scale(s float64, m *Dense) *Dense {
 	out := New(m.Rows, m.Cols)
-	for i, v := range m.Data {
-		out.Data[i] = s * v
-	}
+	parallel.ForWork(len(m.Data), len(m.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = s * m.Data[i]
+		}
+	})
 	return out
 }
 
@@ -297,35 +322,42 @@ func RowSums(m *Dense) []float64 {
 // subtracting the row max.
 func SoftmaxRows(m *Dense) *Dense {
 	out := New(m.Rows, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		orow := out.Row(i)
-		max := math.Inf(-1)
-		for _, v := range row {
-			if v > max {
-				max = v
-			}
+	// exp is expensive relative to a flop; weight the work estimate so
+	// moderately sized logit matrices still parallelize.
+	parallel.ForWork(m.Rows, 8*len(m.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			softmaxRow(m.Row(i), out.Row(i), m.Cols)
 		}
-		var sum float64
-		for j, v := range row {
-			e := math.Exp(v - max)
-			orow[j] = e
-			sum += e
-		}
-		if sum == 0 {
-			// Degenerate row (all -Inf): fall back to uniform.
-			u := 1 / float64(m.Cols)
-			for j := range orow {
-				orow[j] = u
-			}
-			continue
-		}
-		inv := 1 / sum
-		for j := range orow {
-			orow[j] *= inv
+	})
+	return out
+}
+
+// softmaxRow writes the stabilised softmax of row into orow.
+func softmaxRow(row, orow []float64, cols int) {
+	max := math.Inf(-1)
+	for _, v := range row {
+		if v > max {
+			max = v
 		}
 	}
-	return out
+	var sum float64
+	for j, v := range row {
+		e := math.Exp(v - max)
+		orow[j] = e
+		sum += e
+	}
+	if sum == 0 {
+		// Degenerate row (all -Inf): fall back to uniform.
+		u := 1 / float64(cols)
+		for j := range orow {
+			orow[j] = u
+		}
+		return
+	}
+	inv := 1 / sum
+	for j := range orow {
+		orow[j] *= inv
+	}
 }
 
 // ArgmaxRows returns, for each row, the index of its maximum element.

@@ -1,0 +1,89 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// randomCSR builds a CSR large enough to cross the parallel work threshold.
+func randomCSR(n, perRow int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]Coord, 0, n*perRow)
+	for i := 0; i < n; i++ {
+		for k := 0; k < perRow; k++ {
+			coords = append(coords, Coord{i, rng.Intn(n), rng.NormFloat64()})
+		}
+	}
+	return FromCoords(n, n, coords)
+}
+
+func randomDense(rows, cols int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	x := matrix.New(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestMulDenseBitIdenticalAcrossWorkerCounts is the sparse-layer determinism
+// contract: row-block parallel SpMM must reproduce the serial result exactly
+// (==, not within tolerance) for any worker count.
+func TestMulDenseBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	m := randomCSR(1200, 8, 1)
+	x := randomDense(1200, 16, 2)
+
+	orig := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(orig)
+	serial := m.MulDense(x)
+
+	for _, w := range []int{2, 4, 8} {
+		parallel.SetWorkers(w)
+		got := m.MulDense(x)
+		for i, v := range got.Data {
+			if v != serial.Data[i] {
+				t.Fatalf("workers=%d: element %d = %v, serial %v", w, i, v, serial.Data[i])
+			}
+		}
+	}
+}
+
+func TestMulVecBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	m := randomCSR(20000, 6, 3)
+	v := make([]float64, 20000)
+	rng := rand.New(rand.NewSource(4))
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+
+	orig := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(orig)
+	serial := m.MulVec(v)
+
+	parallel.SetWorkers(8)
+	got := m.MulVec(v)
+	for i := range got {
+		if got[i] != serial[i] {
+			t.Fatalf("element %d = %v, serial %v", i, got[i], serial[i])
+		}
+	}
+}
+
+func TestNormalizedBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	m := randomCSR(8000, 5, 5).WithSelfLoops()
+	for _, kind := range []NormKind{NormSym, NormRW, NormReverse} {
+		orig := parallel.SetWorkers(1)
+		serial := m.Normalized(kind)
+		parallel.SetWorkers(8)
+		got := m.Normalized(kind)
+		parallel.SetWorkers(orig)
+		for i := range got.Val {
+			if got.Val[i] != serial.Val[i] {
+				t.Fatalf("kind=%d: nnz %d = %v, serial %v", kind, i, got.Val[i], serial.Val[i])
+			}
+		}
+	}
+}

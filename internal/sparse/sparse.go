@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // CSR is a sparse matrix in compressed sparse row format. Column indices
@@ -178,36 +179,43 @@ const (
 func (m *CSR) Normalized(kind NormKind) *CSR {
 	deg := m.Degrees()
 	out := m.Clone()
-	for i := 0; i < out.NRows; i++ {
-		lo, hi := out.RowPtr[i], out.RowPtr[i+1]
-		for k := lo; k < hi; k++ {
-			j := out.ColIdx[k]
-			di, dj := deg[i], deg[j]
-			switch kind {
-			case NormSym:
-				if di > 0 && dj > 0 {
-					out.Val[k] /= sqrt(di) * sqrt(dj)
-				} else {
-					out.Val[k] = 0
-				}
-			case NormRW:
-				// Â D^{-r} with r=1: divide by column degree.
-				if dj > 0 {
-					out.Val[k] /= dj
-				} else {
-					out.Val[k] = 0
-				}
-			case NormReverse:
-				// D^{r-1} Â with r=0: divide by row degree.
-				if di > 0 {
-					out.Val[k] /= di
-				} else {
-					out.Val[k] = 0
-				}
+	parallel.ForWork(out.NRows, out.NNZ(), func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			normalizeRow(out, deg, i, kind)
+		}
+	})
+	return out
+}
+
+// normalizeRow applies the Eq. (1) scaling to one row of out.
+func normalizeRow(out *CSR, deg []float64, i int, kind NormKind) {
+	lo, hi := out.RowPtr[i], out.RowPtr[i+1]
+	for k := lo; k < hi; k++ {
+		j := out.ColIdx[k]
+		di, dj := deg[i], deg[j]
+		switch kind {
+		case NormSym:
+			if di > 0 && dj > 0 {
+				out.Val[k] /= sqrt(di) * sqrt(dj)
+			} else {
+				out.Val[k] = 0
+			}
+		case NormRW:
+			// Â D^{-r} with r=1: divide by column degree.
+			if dj > 0 {
+				out.Val[k] /= dj
+			} else {
+				out.Val[k] = 0
+			}
+		case NormReverse:
+			// D^{r-1} Â with r=0: divide by row degree.
+			if di > 0 {
+				out.Val[k] /= di
+			} else {
+				out.Val[k] = 0
 			}
 		}
 	}
-	return out
 }
 
 func sqrt(x float64) float64 {
@@ -235,17 +243,19 @@ func (m *CSR) MulDenseInto(dst, x *matrix.Dense) {
 	}
 	dst.Zero()
 	p := x.Cols
-	for i := 0; i < m.NRows; i++ {
-		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		drow := dst.Data[i*p : (i+1)*p]
-		for k := lo; k < hi; k++ {
-			v := m.Val[k]
-			xrow := x.Data[m.ColIdx[k]*p : (m.ColIdx[k]+1)*p]
-			for j, xv := range xrow {
-				drow[j] += v * xv
+	parallel.ForWork(m.NRows, m.NNZ()*p, func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+			drow := dst.Data[i*p : (i+1)*p]
+			for k := lo; k < hi; k++ {
+				v := m.Val[k]
+				xrow := x.Data[m.ColIdx[k]*p : (m.ColIdx[k]+1)*p]
+				for j, xv := range xrow {
+					drow[j] += v * xv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MulVec computes m · v for a dense vector v.
@@ -254,14 +264,16 @@ func (m *CSR) MulVec(v []float64) []float64 {
 		panic("sparse: MulVec length mismatch")
 	}
 	out := make([]float64, m.NRows)
-	for i := 0; i < m.NRows; i++ {
-		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		var s float64
-		for k := lo; k < hi; k++ {
-			s += m.Val[k] * v[m.ColIdx[k]]
+	parallel.ForWork(m.NRows, m.NNZ(), func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+			var s float64
+			for k := lo; k < hi; k++ {
+				s += m.Val[k] * v[m.ColIdx[k]]
+			}
+			out[i] = s
 		}
-		out[i] = s
-	}
+	})
 	return out
 }
 
