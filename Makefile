@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench ci
+.PHONY: all build lint test race cover fuzz bench ci
 
 all: build
 
@@ -24,10 +24,25 @@ test:
 race:
 	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/core/... ./internal/matrix/... ./internal/sparse/...
 
+# Coverage floor on the numeric kernel packages, matching the CI "coverage"
+# job: internal/matrix + internal/sparse must stay at >= 90% statements.
+cover:
+	@$(GO) test -coverprofile=cover.out ./internal/matrix ./internal/sparse
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "kernel coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t+0 < 90) ? 1 : 0 }' || \
+		{ echo "coverage $$total% below the 90% floor" >&2; exit 1; }
+
+# Bounded fuzz pass over the CSR construction and SpMM equivalence targets,
+# matching the CI "fuzz" job (seed corpora in internal/sparse/testdata/fuzz).
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzCSRFromEdges$$' -fuzztime=15s ./internal/sparse
+	$(GO) test -run='^$$' -fuzz='^FuzzSpMMEquivalence$$' -fuzztime=15s ./internal/sparse
+
 # Smoke bench: every benchmark once, output preserved as the BENCH artifact.
 # File-then-cat instead of tee so a failing benchmark fails the target.
 bench:
 	@$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench-smoke.txt 2>&1; \
 	status=$$?; cat bench-smoke.txt; exit $$status
 
-ci: build lint test race bench
+ci: build lint test race cover fuzz bench

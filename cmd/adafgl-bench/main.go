@@ -15,24 +15,30 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/matrix"
 	"repro/internal/parallel"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (table1..table8, fig2..fig11, or 'all')")
-		list    = flag.Bool("list", false, "list available experiments")
-		paper   = flag.Bool("paper", false, "use the paper-scale protocol (slow)")
-		factor  = flag.Float64("factor", 0, "dataset scale factor override")
-		clients = flag.Int("clients", 0, "client count override")
-		rounds  = flag.Int("rounds", 0, "federated rounds override")
-		epochs  = flag.Int("epochs", 0, "local epochs override")
-		runs    = flag.Int("runs", 0, "seeds per cell override")
-		seed    = flag.Int64("seed", 0, "base seed override")
-		workers = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
+		exp       = flag.String("exp", "", "experiment id (table1..table8, fig2..fig11, or 'all')")
+		list      = flag.Bool("list", false, "list available experiments")
+		paper     = flag.Bool("paper", false, "use the paper-scale protocol (slow)")
+		factor    = flag.Float64("factor", 0, "dataset scale factor override")
+		clients   = flag.Int("clients", 0, "client count override")
+		rounds    = flag.Int("rounds", 0, "federated rounds override")
+		epochs    = flag.Int("epochs", 0, "local epochs override")
+		runs      = flag.Int("runs", 0, "seeds per cell override")
+		seed      = flag.Int64("seed", 0, "base seed override")
+		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
+		gemmTiles = flag.String("gemm-tiles", "", "blocked GEMM tile sizes \"MC,KC,NC\" (empty = engine defaults); affects speed only (outputs stay within 1e-12)")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	if err := matrix.SetTilingSpec(*gemmTiles); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {

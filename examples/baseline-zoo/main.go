@@ -15,6 +15,7 @@ import (
 	"repro/internal/federated"
 	"repro/internal/fgl"
 	"repro/internal/graph"
+	"repro/internal/matrix"
 	"repro/internal/models"
 	"repro/internal/parallel"
 	"repro/internal/partition"
@@ -22,8 +23,12 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
+	gemmTiles := flag.String("gemm-tiles", "", "blocked GEMM tile sizes \"MC,KC,NC\" (empty = engine defaults); affects speed only (outputs stay within 1e-12)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	if err := matrix.SetTilingSpec(*gemmTiles); err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := models.DefaultConfig()
 	cfg.Hidden = 32

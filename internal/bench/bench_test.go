@@ -91,7 +91,7 @@ func TestTable1Lines(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table3i", "table4", "table5", "table6", "table7", "table8",
-		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "gemm"}
 	for _, id := range want {
 		if _, ok := Experiments[id]; !ok {
 			t.Errorf("experiment %q missing from registry", id)
@@ -99,6 +99,20 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(Experiments) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(Experiments), len(want))
+	}
+}
+
+func TestGEMMExperiment(t *testing.T) {
+	lines, err := GEMM(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header (3 lines) + one row per size.
+	if len(lines) != 6 {
+		t.Fatalf("GEMM lines = %d, want 6", len(lines))
+	}
+	if !strings.Contains(lines[3], "128x128") || !strings.Contains(lines[3], "x") {
+		t.Fatalf("first size row = %q", lines[3])
 	}
 }
 

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/matrix"
+)
+
+// GEMM is the dense-kernel micro experiment ("gemm"): it times the naive
+// kernel against the blocked engine across matrix sizes, reports the
+// speedup, and cross-checks the two paths to 1e-12 on every cell — a quick
+// field check of the engine on whatever machine the harness runs on,
+// complementing the BenchmarkGEMM sweep in bench_test.go. Scale.Runs sets
+// the repetitions per cell (best time wins, amortising scheduler noise).
+func GEMM(s Scale) ([]string, error) {
+	reps := s.Runs
+	if reps < 1 {
+		reps = 1
+	}
+	t := matrix.CurrentTiling()
+	lines := []string{
+		"GEMM: naive vs blocked dense kernels",
+		fmt.Sprintf("tiles MC=%d KC=%d NC=%d, cutover %d madds, reps %d", t.MC, t.KC, t.NC, matrix.BlockedCutover, reps),
+		fmt.Sprintf("%8s %14s %14s %9s", "size", "naive", "blocked", "speedup"),
+	}
+	for _, n := range []int{128, 256, 512} {
+		rng := rand.New(rand.NewSource(s.Seed + int64(n)))
+		a, b := matrix.New(n, n), matrix.New(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		var naive, blocked *matrix.Dense
+		tNaive := best(reps, func() { naive = matrix.MulNaive(a, b) })
+		tBlocked := best(reps, func() { blocked = matrix.Mul(a, b) })
+		if !matrix.Equal(naive, blocked, 1e-12) {
+			return nil, fmt.Errorf("bench: gemm paths diverge at n=%d", n)
+		}
+		lines = append(lines, fmt.Sprintf("%8s %14v %14v %8.2fx",
+			fmt.Sprintf("%dx%d", n, n),
+			tNaive.Round(time.Microsecond), tBlocked.Round(time.Microsecond),
+			float64(tNaive)/float64(tBlocked)))
+	}
+	return lines, nil
+}
+
+// best returns the fastest of reps timed runs of fn.
+func best(reps int, fn func()) time.Duration {
+	var min time.Duration
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); r == 0 || d < min {
+			min = d
+		}
+	}
+	return min
+}

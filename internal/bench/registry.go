@@ -31,6 +31,7 @@ var Experiments = map[string]Experiment{
 	"fig9":    {"fig9", "Fig. 9: convergence (small datasets)", Fig9},
 	"fig10":   {"fig10", "Fig. 10: sparsity robustness", Fig10},
 	"fig11":   {"fig11", "Fig. 11: sparse client participation", Fig11},
+	"gemm":    {"gemm", "Micro: naive vs blocked dense GEMM speedup", GEMM},
 }
 
 // IDs returns the experiment ids sorted.

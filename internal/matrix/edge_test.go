@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -63,6 +64,22 @@ func TestStringRendering(t *testing.T) {
 	big := New(30, 30)
 	if s := big.String(); s != "Dense(30x30)" {
 		t.Fatalf("large matrix should render compactly, got %q", s)
+	}
+}
+
+func TestEqualNaNSemantics(t *testing.T) {
+	nan := math.NaN()
+	a, _ := FromRows([][]float64{{1, nan}})
+	b, _ := FromRows([][]float64{{1, nan}})
+	if !Equal(a, b, 0) {
+		t.Fatal("NaN at matching positions must compare equal")
+	}
+	c, _ := FromRows([][]float64{{1, 2}})
+	if Equal(a, c, 1e9) {
+		t.Fatal("NaN vs finite must compare unequal at any tolerance")
+	}
+	if Equal(c, a, 1e9) {
+		t.Fatal("finite vs NaN must compare unequal at any tolerance")
 	}
 }
 

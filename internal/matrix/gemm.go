@@ -1,0 +1,494 @@
+// Blocked GEMM engine. Dense matrix products above a flop cutover run on a
+// cache-tiled, pool-aware path: B is packed one KC x NC panel at a time into
+// an nr-interleaved scratch buffer, each worker packs MC x KC panels of A
+// into an mr-interleaved buffer, and an mr x nr register-blocked micro-kernel
+// accumulates tile partial sums. Work is distributed over output rows with
+// parallel.ForGrain, so every dst row is written by exactly one worker block
+// and the per-element accumulation order (KC tiles ascending, then the
+// shared dimension ascending within a tile) is a pure function of shapes and
+// tile sizes — results are bit-identical for every worker count, exactly the
+// contract the naive kernels already satisfy.
+//
+// Products below the cutover keep the naive kernels: for small operands the
+// packing traffic costs more than the cache misses it avoids.
+//
+// The two paths agree to 1e-12 on finite inputs (enforced by the property
+// suite). Non-finite operands are outside that contract: the naive kernels
+// skip exact-zero A terms (a measurable win on post-ReLU activations), so
+// 0·Inf contributes nothing there but NaN on the blocked path.
+package matrix
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// mr x nr is the register tile of the micro-kernel: 16 independent
+// accumulator chains, enough ILP to keep a scalar FPU busy without spilling.
+const (
+	mr = 4
+	nr = 4
+)
+
+// BlockedCutover is the multiply-add count (rows x inner x cols) at and
+// above which Mul, MulInto, MulT and TMul take the blocked engine; smaller
+// products stay on the naive kernels.
+const BlockedCutover = 1 << 18
+
+// Tiling holds the blocked-GEMM tile sizes, all in elements:
+//
+//	MC — rows of A packed per panel by each worker (L2-resident with KC)
+//	KC — shared-dimension depth of the A and B panels
+//	NC — columns of B packed per panel (B panel is KC x NC, L2-resident)
+type Tiling struct {
+	MC, KC, NC int
+}
+
+// DefaultTiling returns the default tile sizes: an A panel of 64x256 (128 KiB)
+// and a B panel of 256x128 (256 KiB), sized for common L2 caches while the
+// 4-row dst stripe stays in L1.
+func DefaultTiling() Tiling { return Tiling{MC: 64, KC: 256, NC: 128} }
+
+// currentTiling holds the process-wide Tiling; nil means DefaultTiling().
+var currentTiling atomic.Pointer[Tiling]
+
+// SetTiling sets the process-wide blocked-GEMM tile sizes and returns the
+// previous value so callers can restore it. Fields <= 0 fall back to the
+// default; MC and NC are rounded up to multiples of the micro-kernel tile.
+// Tile sizes affect only performance, never results.
+func SetTiling(t Tiling) Tiling {
+	prev := CurrentTiling()
+	d := DefaultTiling()
+	if t.MC <= 0 {
+		t.MC = d.MC
+	}
+	if t.KC <= 0 {
+		t.KC = d.KC
+	}
+	if t.NC <= 0 {
+		t.NC = d.NC
+	}
+	t.MC = roundUp(t.MC, mr)
+	t.NC = roundUp(t.NC, nr)
+	currentTiling.Store(&t)
+	return prev
+}
+
+// CurrentTiling returns the tile sizes the blocked engine is using.
+func CurrentTiling() Tiling {
+	if t := currentTiling.Load(); t != nil {
+		return *t
+	}
+	return DefaultTiling()
+}
+
+// ParseTiling parses a "MC,KC,NC" spec (e.g. "64,256,128") as passed to the
+// -gemm-tiles flag of cmd/adafgl-bench and the examples. A zero field keeps
+// that tile's default.
+func ParseTiling(s string) (Tiling, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return Tiling{}, fmt.Errorf("matrix: tiling spec %q, want \"MC,KC,NC\"", s)
+	}
+	var vals [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return Tiling{}, fmt.Errorf("matrix: tiling spec %q: bad field %q", s, p)
+		}
+		vals[i] = v
+	}
+	return Tiling{MC: vals[0], KC: vals[1], NC: vals[2]}, nil
+}
+
+// SetTilingSpec parses and applies a "MC,KC,NC" spec; the empty string is a
+// no-op. One-line wiring for the -gemm-tiles flag, mirroring how
+// parallel.SetWorkers backs -workers.
+func SetTilingSpec(s string) error {
+	if s == "" {
+		return nil
+	}
+	t, err := ParseTiling(s)
+	if err != nil {
+		return err
+	}
+	SetTiling(t)
+	return nil
+}
+
+// Mul returns a*b (matrix product).
+func Mul(a, b *Dense) *Dense {
+	shapeCheck(a.Cols == b.Rows, "Mul", a, b)
+	out := New(a.Rows, b.Cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a*b. dst must be a.Rows x b.Cols and must not alias
+// a or b.
+func MulInto(dst, a, b *Dense) {
+	shapeCheck(a.Cols == b.Rows, "MulInto", a, b)
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: MulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if gemmFlops(a.Rows, a.Cols, b.Cols) >= BlockedCutover {
+		blockedMulInto(dst, a, b)
+		return
+	}
+	naiveMulInto(dst, a, b)
+}
+
+// MulT returns a * bᵀ, useful for similarity matrices H·Hᵀ. Above the
+// cutover the blocked engine packs B panels straight from b's strided
+// layout — no transposed temporary is materialised.
+func MulT(a, b *Dense) *Dense {
+	shapeCheck(a.Cols == b.Cols, "MulT", a, b)
+	out := New(a.Rows, b.Rows)
+	if gemmFlops(a.Rows, a.Cols, b.Rows) >= BlockedCutover {
+		blockedGEMM(out, a, false, b, true)
+		return out
+	}
+	naiveMulTInto(out, a, b)
+	return out
+}
+
+// TMul returns aᵀ * b, the workhorse of dense gradient computation. Above
+// the cutover the blocked engine packs A panels straight from a's strided
+// layout — no transposed temporary is materialised.
+func TMul(a, b *Dense) *Dense {
+	shapeCheck(a.Rows == b.Rows, "TMul", a, b)
+	out := New(a.Cols, b.Cols)
+	if gemmFlops(a.Cols, a.Rows, b.Cols) >= BlockedCutover {
+		blockedGEMM(out, a, true, b, false)
+		return out
+	}
+	naiveTMulInto(out, a, b)
+	return out
+}
+
+// MulNaive computes a*b on the naive kernel regardless of size. It is the
+// reference implementation the property/equivalence harness and the
+// BenchmarkGEMM sweep compare the blocked engine against.
+func MulNaive(a, b *Dense) *Dense {
+	shapeCheck(a.Cols == b.Rows, "MulNaive", a, b)
+	out := New(a.Rows, b.Cols)
+	naiveMulInto(out, a, b)
+	return out
+}
+
+// gemmFlops estimates a product's multiply-add count for cutover and
+// work-gate decisions.
+func gemmFlops(n, k, p int) int { return n * k * p }
+
+// ---- Naive kernels (reference path, small operands) ----
+
+// naiveMulInto is the unblocked i-k-j product: streams b and dst rows for
+// locality; row blocks write disjoint dst rows, so the parallel path is
+// exact.
+func naiveMulInto(dst, a, b *Dense) {
+	dst.Zero()
+	n, k, p := a.Rows, a.Cols, b.Cols
+	parallel.ForWork(n, gemmFlops(n, k, p), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*p : (i+1)*p]
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[kk*p : (kk+1)*p]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// naiveMulTInto computes dst = a * bᵀ by row dot products.
+func naiveMulTInto(dst, a, b *Dense) {
+	parallel.ForWork(a.Rows, gemmFlops(a.Rows, a.Cols, b.Rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for t, av := range arow {
+					s += av * brow[t]
+				}
+				orow[j] = s
+			}
+		}
+	})
+}
+
+// naiveTMulInto computes dst = aᵀ * b. Parallelized over dst rows (a's
+// columns): each block owns a disjoint stripe of dst, and for a fixed t the
+// accumulation order over i is the same ascending order as the serial loop,
+// keeping results exact.
+func naiveTMulInto(dst, a, b *Dense) {
+	dst.Zero()
+	p := b.Cols
+	parallel.ForWork(a.Cols, gemmFlops(a.Cols, a.Rows, b.Cols), func(tlo, thi int) {
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			brow := b.Row(i)
+			for t := tlo; t < thi; t++ {
+				av := arow[t]
+				if av == 0 {
+					continue
+				}
+				orow := dst.Data[t*p : (t+1)*p]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// ---- Blocked engine ----
+
+// blockedMulInto computes dst = a*b with panel packing and the mr x nr
+// micro-kernel. Loop structure (GotoBLAS order, NC/KC/rows):
+//
+//	for each NC-wide column panel of B:
+//	  for each KC-deep slice:                       // ascending, serial
+//	    pack B[kc, jc] once (shared, read-only)
+//	    parallel over dst rows (mr-aligned blocks):
+//	      for each MC-high row chunk: pack A[ic, kc] per worker
+//	        micro-kernels accumulate dst tiles
+//
+// Each dst element receives its KC-tile partial sums in ascending kc order,
+// and each tile's partial sum is accumulated in ascending shared-dimension
+// order inside the micro-kernel, so the arithmetic is independent of the
+// worker count.
+// packBuffers recycles panel scratch across GEMM calls and worker blocks:
+// packing buffers are the hottest allocation in training loops (one A panel
+// per worker block per (jc,kc) pair) and would otherwise be steady GC churn.
+var packBuffers = sync.Pool{New: func() any { return new([]float64) }}
+
+// getPackBuffer returns a scratch slice of length n (zeroing not needed —
+// packing overwrites every element it reads back).
+func getPackBuffer(n int) *[]float64 {
+	buf := packBuffers.Get().(*[]float64)
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return buf
+}
+
+func blockedMulInto(dst, a, b *Dense) { blockedGEMM(dst, a, false, b, false) }
+
+// blockedGEMM computes dst = op(a)·op(b), where op transposes the operand
+// when its flag is set. Transposition happens inside the packing routines —
+// they read the operand with the appropriate stride — so no transposed
+// temporary is ever materialised and the tile/micro-kernel structure (and
+// with it the determinism contract) is identical for all four variants.
+func blockedGEMM(dst *Dense, a *Dense, aT bool, b *Dense, bT bool) {
+	dst.Zero()
+	n, k := a.Rows, a.Cols
+	if aT {
+		n, k = a.Cols, a.Rows
+	}
+	p := b.Cols
+	if bT {
+		p = b.Rows
+	}
+	if n == 0 || k == 0 || p == 0 {
+		return
+	}
+	t := CurrentTiling()
+	mc, kcT, ncT := t.MC, t.KC, t.NC
+	bpBuf := getPackBuffer(min(kcT, k) * min(ncT, roundUp(p, nr)))
+	defer packBuffers.Put(bpBuf)
+	bp := *bpBuf
+	for jc := 0; jc < p; jc += ncT {
+		jw := min(ncT, p-jc)
+		jwR := roundUp(jw, nr)
+		for kc := 0; kc < k; kc += kcT {
+			kw := min(kcT, k-kc)
+			packB(bp, b, bT, kc, kw, jc, jw, jwR)
+			parallel.ForWorkGrain(n, gemmFlops(n, kw, jw), mr, func(lo, hi int) {
+				apBuf := getPackBuffer(mc * kw)
+				defer packBuffers.Put(apBuf)
+				ap := *apBuf
+				for i0 := lo; i0 < hi; i0 += mc {
+					iw := min(mc, hi-i0)
+					iwR := roundUp(iw, mr)
+					packA(ap, a, aT, i0, iw, iwR, kc, kw)
+					for ir := 0; ir < iwR; ir += mr {
+						vr := min(mr, iw-ir)
+						apn := ap[(ir/mr)*kw*mr:]
+						for jr := 0; jr < jwR; jr += nr {
+							vc := min(nr, jw-jr)
+							bpn := bp[(jr/nr)*kw*nr:]
+							d := dst.Data[(i0+ir)*p+jc+jr:]
+							if useSIMD && vr == mr && vc == nr {
+								microKernelAVX(&d[0], p, kw, &apn[0], &bpn[0])
+							} else {
+								microKernel(d, p, vr, vc, kw, apn, bpn)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// packB copies the kw x jw logical panel of op(b) at (kc, jc) into bp as
+// nr-wide micro-panels: micro-panel g (columns jc+g*nr ..) occupies
+// bp[g*kw*nr :] with element (kk, c) at kk*nr+c, trailing columns
+// zero-padded. The micro-kernel then streams contiguous nr-vectors per
+// shared-dim step. With bT set, logical element (kk, j) is b[j][kk], read
+// contiguously along kk per column.
+func packB(bp []float64, b *Dense, bT bool, kc, kw, jc, jw, jwR int) {
+	for g := 0; g < jwR/nr; g++ {
+		off := g * kw * nr
+		j0 := jc + g*nr
+		w := min(nr, jw-g*nr)
+		if bT {
+			k := b.Cols
+			for c := 0; c < w; c++ {
+				src := b.Data[(j0+c)*k+kc : (j0+c)*k+kc+kw]
+				for kk, v := range src {
+					bp[off+kk*nr+c] = v
+				}
+			}
+			for c := w; c < nr; c++ {
+				for kk := 0; kk < kw; kk++ {
+					bp[off+kk*nr+c] = 0
+				}
+			}
+			continue
+		}
+		p := b.Cols
+		for kk := 0; kk < kw; kk++ {
+			src := b.Data[(kc+kk)*p+j0 : (kc+kk)*p+j0+w]
+			d := bp[off+kk*nr : off+kk*nr+nr]
+			copy(d, src)
+			for c := w; c < nr; c++ {
+				d[c] = 0
+			}
+		}
+	}
+}
+
+// packA copies the iw x kw logical panel of op(a) at (i0, kc) into ap as
+// mr-high micro-panels: micro-panel g (rows i0+g*mr ..) occupies
+// ap[g*kw*mr :] with element (kk, r) at kk*mr+r, trailing rows zero-padded.
+// Padded rows are computed by the micro-kernel but never stored. With aT
+// set, logical row i0+r is column i0+r of a, read contiguously along r per
+// shared-dim step.
+func packA(ap []float64, a *Dense, aT bool, i0, iw, iwR, kc, kw int) {
+	for g := 0; g < iwR/mr; g++ {
+		off := g * kw * mr
+		h := min(mr, iw-g*mr)
+		if aT {
+			n := a.Cols
+			base := i0 + g*mr
+			for kk := 0; kk < kw; kk++ {
+				src := a.Data[(kc+kk)*n+base : (kc+kk)*n+base+h]
+				d := ap[off+kk*mr : off+kk*mr+mr]
+				copy(d, src)
+				for r := h; r < mr; r++ {
+					d[r] = 0
+				}
+			}
+			continue
+		}
+		k := a.Cols
+		for r := 0; r < h; r++ {
+			src := a.Data[(i0+g*mr+r)*k+kc : (i0+g*mr+r)*k+kc+kw]
+			for kk, v := range src {
+				ap[off+kk*mr+r] = v
+			}
+		}
+		for r := h; r < mr; r++ {
+			for kk := 0; kk < kw; kk++ {
+				ap[off+kk*mr+r] = 0
+			}
+		}
+	}
+}
+
+// microKernel accumulates an mr x nr tile partial sum over kw shared-dim
+// steps from packed micro-panels ap (mr-interleaved) and bp (nr-interleaved)
+// into dst, where dst[r*stride+c] addresses tile cell (r, c) and only the
+// valid vr x vc region is stored. The 16 accumulators live in registers for
+// the whole kw loop; terms are added in ascending kk order.
+func microKernel(dst []float64, stride, vr, vc, kw int, ap, bp []float64) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	ap = ap[: kw*mr : kw*mr]
+	bp = bp[: kw*nr : kw*nr]
+	for kk := 0; kk < kw; kk++ {
+		ao, bo := kk*mr, kk*nr
+		a0, a1, a2, a3 := ap[ao], ap[ao+1], ap[ao+2], ap[ao+3]
+		b0, b1, b2, b3 := bp[bo], bp[bo+1], bp[bo+2], bp[bo+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	if vr == mr && vc == nr {
+		d := dst[0:4]
+		d[0] += c00
+		d[1] += c01
+		d[2] += c02
+		d[3] += c03
+		d = dst[stride : stride+4]
+		d[0] += c10
+		d[1] += c11
+		d[2] += c12
+		d[3] += c13
+		d = dst[2*stride : 2*stride+4]
+		d[0] += c20
+		d[1] += c21
+		d[2] += c22
+		d[3] += c23
+		d = dst[3*stride : 3*stride+4]
+		d[0] += c30
+		d[1] += c31
+		d[2] += c32
+		d[3] += c33
+		return
+	}
+	cs := [mr][nr]float64{
+		{c00, c01, c02, c03},
+		{c10, c11, c12, c13},
+		{c20, c21, c22, c23},
+		{c30, c31, c32, c33},
+	}
+	for r := 0; r < vr; r++ {
+		d := dst[r*stride : r*stride+vc]
+		for c := range d {
+			d[c] += cs[r][c]
+		}
+	}
+}
+
+func roundUp(v, m int) int { return (v + m - 1) / m * m }

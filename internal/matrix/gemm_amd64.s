@@ -1,0 +1,97 @@
+// AVX2+FMA micro-kernel for the blocked GEMM engine (see gemm.go). Only
+// full 4x4 tiles are dispatched here; edge tiles take the portable scalar
+// kernel. Each dst element accumulates its tile partial sum in ascending
+// shared-dimension order — one fused-multiply-add chain per element — so the
+// summation order matches the scalar kernel and is independent of the worker
+// count.
+
+#include "textflag.h"
+
+// func hasAVX2FMA() bool
+//
+// CPUID.1:ECX must report FMA, OSXSAVE and AVX; XCR0 must have the SSE and
+// AVX state bits enabled by the OS; CPUID.(7,0):EBX must report AVX2.
+TEXT ·hasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	MOVL CX, SI
+	ANDL $(1<<12 | 1<<27 | 1<<28), SI
+	CMPL SI, $(1<<12 | 1<<27 | 1<<28)
+	JNE  no
+
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func microKernelAVX(dst *float64, stride, kw int, ap, bp *float64)
+//
+// Accumulates the 4x4 tile partial sum over kw shared-dimension steps from
+// mr-interleaved packed A (ap) and nr-interleaved packed B (bp) into dst,
+// where dst[r*stride+c] addresses tile cell (r, c). Y0..Y3 hold one output
+// row each; per step: one 4-wide load of B, four broadcasts of A and four
+// VFMADD231PD.
+TEXT ·microKernelAVX(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ stride+8(FP), SI
+	MOVQ kw+16(FP), CX
+	MOVQ ap+24(FP), R8
+	MOVQ bp+32(FP), R9
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+	TESTQ CX, CX
+	JZ    store
+
+loop:
+	VMOVUPD      (R9), Y4
+	VBROADCASTSD (R8), Y5
+	VFMADD231PD  Y4, Y5, Y0
+	VBROADCASTSD 8(R8), Y5
+	VFMADD231PD  Y4, Y5, Y1
+	VBROADCASTSD 16(R8), Y5
+	VFMADD231PD  Y4, Y5, Y2
+	VBROADCASTSD 24(R8), Y5
+	VFMADD231PD  Y4, Y5, Y3
+	ADDQ         $32, R8
+	ADDQ         $32, R9
+	DECQ         CX
+	JNZ          loop
+
+store:
+	SHLQ    $3, SI
+	VMOVUPD (DI), Y4
+	VADDPD  Y0, Y4, Y4
+	VMOVUPD Y4, (DI)
+	ADDQ    SI, DI
+	VMOVUPD (DI), Y4
+	VADDPD  Y1, Y4, Y4
+	VMOVUPD Y4, (DI)
+	ADDQ    SI, DI
+	VMOVUPD (DI), Y4
+	VADDPD  Y2, Y4, Y4
+	VMOVUPD Y4, (DI)
+	ADDQ    SI, DI
+	VMOVUPD (DI), Y4
+	VADDPD  Y3, Y4, Y4
+	VMOVUPD Y4, (DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,18 @@
+//go:build amd64
+
+package matrix
+
+// hasAVX2FMA reports whether the CPU and OS support the AVX2+FMA micro-kernel
+// (implemented in gemm_amd64.s).
+func hasAVX2FMA() bool
+
+// microKernelAVX is the 4x4 AVX2+FMA tile kernel (gemm_amd64.s). It must
+// only be called when useSIMD is true and the tile is full (vr == mr,
+// vc == nr).
+//
+//go:noescape
+func microKernelAVX(dst *float64, stride, kw int, ap, bp *float64)
+
+// useSIMD gates the assembly micro-kernel. Detected once at start-up;
+// overridable in tests to exercise the scalar path on SIMD machines.
+var useSIMD = hasAVX2FMA()

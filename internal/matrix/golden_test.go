@@ -1,0 +1,130 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden-value regression tests for the row-wise reduction kernels. Each
+// case pins the exact expected output — these edge behaviors (uniform
+// fallback, -Inf masking, tie-breaking) are relied on by the loss and
+// accuracy layers and must not drift.
+
+func TestSoftmaxRowsGoldenAllEqual(t *testing.T) {
+	m, _ := FromRows([][]float64{
+		{5, 5, 5, 5},
+		{-2, -2, -2, -2},
+		{0, 0, 0, 0},
+	})
+	got := SoftmaxRows(m)
+	// exp(0) == 1 exactly for every entry, so each probability is exactly
+	// 1/cols regardless of the shared logit value.
+	for i := 0; i < got.Rows; i++ {
+		for j := 0; j < got.Cols; j++ {
+			if got.At(i, j) != 0.25 {
+				t.Fatalf("row %d col %d = %v, want exactly 0.25", i, j, got.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSoftmaxRowsGoldenNegInf(t *testing.T) {
+	inf := math.Inf(1)
+	m, _ := FromRows([][]float64{
+		{0, -inf, 0},       // masked middle: exactly [0.5, 0, 0.5]
+		{-inf, 3, -inf},    // single survivor: exactly [0, 1, 0]
+		{-inf, -inf, -inf}, // degenerate: uniform fallback 1/3
+	})
+	got := SoftmaxRows(m)
+	want := [][]float64{
+		{0.5, 0, 0.5},
+		{0, 1, 0},
+		{1.0 / 3, 1.0 / 3, 1.0 / 3},
+	}
+	for i, row := range want {
+		for j, w := range row {
+			if got.At(i, j) != w {
+				t.Fatalf("row %d col %d = %v, want exactly %v", i, j, got.At(i, j), w)
+			}
+		}
+	}
+}
+
+func TestSoftmaxRowsGoldenSingleColumn(t *testing.T) {
+	m, _ := FromRows([][]float64{{3}, {-40}, {math.Inf(-1)}})
+	got := SoftmaxRows(m)
+	// One column: every row is a full probability mass of exactly 1, with
+	// the all--Inf row saved by the uniform fallback.
+	for i := 0; i < got.Rows; i++ {
+		if got.At(i, 0) != 1 {
+			t.Fatalf("row %d = %v, want exactly 1", i, got.At(i, 0))
+		}
+	}
+}
+
+func TestSoftmaxRowsGoldenNaN(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	m, _ := FromRows([][]float64{
+		{nan, nan, nan},   // all NaN: must propagate, not fall back to uniform
+		{1, nan, 2},       // NaN among finite logits: poisons the whole row
+		{-inf, nan, -inf}, // NaN hidden behind -Inf max: still propagates
+	})
+	got := SoftmaxRows(m)
+	for i := 0; i < got.Rows; i++ {
+		for j := 0; j < got.Cols; j++ {
+			if !math.IsNaN(got.At(i, j)) {
+				t.Fatalf("row %d col %d = %v, want NaN", i, j, got.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSoftmaxRowsRowsSumToOne(t *testing.T) {
+	m, _ := FromRows([][]float64{
+		{1, 2, 3, 4},
+		{-1000, 0, 1000, 2},
+		{1e-300, -1e-300, 0, 1},
+	})
+	got := SoftmaxRows(m)
+	for i := 0; i < got.Rows; i++ {
+		var s float64
+		for j := 0; j < got.Cols; j++ {
+			v := got.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("row %d col %d = %v outside [0,1]", i, j, v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestArgmaxRowsGolden(t *testing.T) {
+	inf := math.Inf(1)
+	m, _ := FromRows([][]float64{
+		{7, 7, 7},          // all equal: ties resolve to the first index
+		{-inf, -inf, -inf}, // all -Inf: nothing beats the initial best, index 0
+		{1, 3, 3},          // tie at the max: first of the tied wins
+		{-5, -2, -9},       // interior max
+		{0, -1, 2},         // max at the last column
+		{-inf, -3, -inf},   // finite value beats -Inf
+	})
+	want := []int{0, 0, 1, 1, 2, 1}
+	got := ArgmaxRows(m)
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("row %d argmax = %d, want %d", i, got[i], w)
+		}
+	}
+}
+
+func TestArgmaxRowsSingleColumn(t *testing.T) {
+	m, _ := FromRows([][]float64{{42}, {math.Inf(-1)}, {-0.5}})
+	for i, v := range ArgmaxRows(m) {
+		if v != 0 {
+			t.Fatalf("row %d argmax = %d, want 0 (only column)", i, v)
+		}
+	}
+}

@@ -27,7 +27,7 @@ type Dense struct {
 // New returns a zeroed rows x cols matrix.
 func New(rows, cols int) *Dense {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", rows, cols))
+		panic(fmt.Sprintf("matrix: New negative dimensions %dx%d", rows, cols))
 	}
 	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
@@ -107,91 +107,6 @@ func shapeCheck(ok bool, op string, a, b *Dense) {
 	if !ok {
 		panic(fmt.Sprintf("matrix: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-}
-
-// Mul returns a*b (matrix product).
-func Mul(a, b *Dense) *Dense {
-	shapeCheck(a.Cols == b.Rows, "Mul", a, b)
-	out := New(a.Rows, b.Cols)
-	MulInto(out, a, b)
-	return out
-}
-
-// MulInto computes dst = a*b. dst must be a.Rows x b.Cols and must not alias
-// a or b.
-func MulInto(dst, a, b *Dense) {
-	shapeCheck(a.Cols == b.Rows, "MulInto", a, b)
-	if dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("matrix: MulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
-	}
-	dst.Zero()
-	n, k, p := a.Rows, a.Cols, b.Cols
-	// i-k-j loop order streams through b and dst rows for cache locality;
-	// row blocks write disjoint dst rows, so the parallel path is exact.
-	parallel.ForWork(n, n*k*p, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			drow := dst.Data[i*p : (i+1)*p]
-			for kk := 0; kk < k; kk++ {
-				av := arow[kk]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[kk*p : (kk+1)*p]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
-			}
-		}
-	})
-}
-
-// MulT returns a * bᵀ, useful for similarity matrices H·Hᵀ.
-func MulT(a, b *Dense) *Dense {
-	shapeCheck(a.Cols == b.Cols, "MulT", a, b)
-	out := New(a.Rows, b.Rows)
-	parallel.ForWork(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var s float64
-				for t, av := range arow {
-					s += av * brow[t]
-				}
-				orow[j] = s
-			}
-		}
-	})
-	return out
-}
-
-// TMul returns aᵀ * b, the workhorse of dense gradient computation.
-func TMul(a, b *Dense) *Dense {
-	shapeCheck(a.Rows == b.Rows, "TMul", a, b)
-	out := New(a.Cols, b.Cols)
-	p := b.Cols
-	// Parallelized over out rows (a's columns): each block owns a disjoint
-	// stripe of out, and for a fixed t the accumulation order over i is the
-	// same ascending order as the serial loop, keeping results exact.
-	parallel.ForWork(a.Cols, a.Rows*a.Cols*b.Cols, func(tlo, thi int) {
-		for i := 0; i < a.Rows; i++ {
-			arow := a.Row(i)
-			brow := b.Row(i)
-			for t := tlo; t < thi; t++ {
-				av := arow[t]
-				if av == 0 {
-					continue
-				}
-				orow := out.Data[t*p : (t+1)*p]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	})
-	return out
 }
 
 // Transpose returns mᵀ.
@@ -340,19 +255,34 @@ func softmaxRow(row, orow []float64, cols int) {
 			max = v
 		}
 	}
-	var sum float64
-	for j, v := range row {
-		e := math.Exp(v - max)
-		orow[j] = e
-		sum += e
-	}
-	if sum == 0 {
-		// Degenerate row (all -Inf): fall back to uniform.
+	if math.IsInf(max, -1) {
+		// No logit beat -Inf. NaNs (invisible to the > comparison) must
+		// propagate rather than be masked; a genuinely all--Inf row falls
+		// back to uniform so fully-masked rows keep a finite loss.
+		for _, v := range row {
+			if math.IsNaN(v) {
+				nan := math.NaN()
+				for j := range orow {
+					orow[j] = nan
+				}
+				return
+			}
+		}
 		u := 1 / float64(cols)
 		for j := range orow {
 			orow[j] = u
 		}
 		return
+	}
+	// max > -Inf, so when it is finite the max element contributes
+	// exp(0) == 1 and sum >= 1: the normalisation is well-defined. NaN
+	// logits — and +Inf logits, for which exp(Inf-Inf) is NaN — make sum
+	// NaN and propagate through the division.
+	var sum float64
+	for j, v := range row {
+		e := math.Exp(v - max)
+		orow[j] = e
+		sum += e
 	}
 	inv := 1 / sum
 	for j := range orow {
@@ -469,13 +399,23 @@ func RandomNormal(m *Dense, mean, std float64, rng *rand.Rand) {
 }
 
 // Equal reports whether a and b have the same shape and all elements within
-// tol of each other.
+// tol of each other. NaN is treated consistently: NaN matches NaN (so two
+// kernels that both produce NaN at a position compare equal) and nothing
+// else — previously |NaN-x| > tol was always false, silently equating NaN
+// with every finite value.
 func Equal(a, b *Dense, tol float64) bool {
 	if !SameShape(a, b) {
 		return false
 	}
 	for i, v := range a.Data {
-		if math.Abs(v-b.Data[i]) > tol {
+		w := b.Data[i]
+		if math.IsNaN(v) || math.IsNaN(w) {
+			if math.IsNaN(v) != math.IsNaN(w) {
+				return false
+			}
+			continue
+		}
+		if math.Abs(v-w) > tol {
 			return false
 		}
 	}

@@ -1,0 +1,148 @@
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// propertyTilings are deliberately awkward tile configurations: tiny tiles
+// force edge micro-kernels everywhere, non-default shapes shift every panel
+// boundary. Results must be invariant (to 1e-12) under all of them.
+var propertyTilings = []Tiling{
+	DefaultTiling(),
+	{MC: 4, KC: 1, NC: 4},
+	{MC: 8, KC: 3, NC: 8},
+	{MC: 12, KC: 7, NC: 20},
+	{MC: 32, KC: 64, NC: 48},
+	{MC: 256, KC: 512, NC: 512},
+}
+
+// randShape draws a dimension that is frequently a multiple of the
+// micro-kernel tile and frequently not, covering both kernel paths.
+func randShape(rng *rand.Rand) int {
+	n := 1 + rng.Intn(96)
+	if rng.Intn(2) == 0 {
+		n = (n/4 + 1) * 4
+	}
+	return n
+}
+
+// randContents fills with unit-scale values and sprinkles exact zeros so the
+// naive kernels' zero-skip branch is exercised against the blocked path.
+func randContents(m *Dense, rng *rand.Rand) {
+	for i := range m.Data {
+		if rng.Intn(8) == 0 {
+			m.Data[i] = 0
+			continue
+		}
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+}
+
+// withScalarKernel runs fn twice when the SIMD micro-kernel is available —
+// once with it, once forced onto the portable scalar kernel — so both
+// engines face every property on SIMD machines.
+func withScalarKernel(t *testing.T, fn func(t *testing.T)) {
+	t.Run("kernel=auto", fn)
+	if !useSIMD {
+		return
+	}
+	t.Run("kernel=scalar", func(t *testing.T) {
+		useSIMD = false
+		defer func() { useSIMD = true }()
+		fn(t)
+	})
+}
+
+// TestPropertyBlockedMatchesNaiveMul drives the blocked engine directly
+// (ignoring the cutover) over random shapes, contents and tilings and
+// demands agreement with the naive kernel within 1e-12.
+func TestPropertyBlockedMatchesNaiveMul(t *testing.T) {
+	withScalarKernel(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11))
+		defer SetTiling(SetTiling(DefaultTiling()))
+		for iter := 0; iter < 80; iter++ {
+			n, k, p := randShape(rng), randShape(rng), randShape(rng)
+			tile := propertyTilings[rng.Intn(len(propertyTilings))]
+			SetTiling(tile)
+			a, b := New(n, k), New(k, p)
+			randContents(a, rng)
+			randContents(b, rng)
+			blocked := New(n, p)
+			blockedMulInto(blocked, a, b)
+			naive := New(n, p)
+			naiveMulInto(naive, a, b)
+			if !Equal(blocked, naive, 1e-12) {
+				t.Fatalf("iter %d: blocked (%dx%d)·(%dx%d) tiles %+v diverges from naive", iter, n, k, k, p, tile)
+			}
+		}
+	})
+}
+
+// TestPropertyDispatchedKernelsMatchNaive exercises the public entry points
+// at shapes straddling the cutover: whichever path dispatch picks, Mul, MulT
+// and TMul must agree with their naive references within 1e-12.
+func TestPropertyDispatchedKernelsMatchNaive(t *testing.T) {
+	withScalarKernel(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(13))
+		defer SetTiling(SetTiling(DefaultTiling()))
+		// 64^3 == BlockedCutover, so dims around 64 land on both sides.
+		dims := []int{31, 63, 64, 65, 96, 128}
+		for iter := 0; iter < 40; iter++ {
+			n := dims[rng.Intn(len(dims))]
+			k := dims[rng.Intn(len(dims))]
+			p := dims[rng.Intn(len(dims))]
+			SetTiling(propertyTilings[rng.Intn(len(propertyTilings))])
+			a, b := New(n, k), New(k, p)
+			randContents(a, rng)
+			randContents(b, rng)
+			if !Equal(Mul(a, b), MulNaive(a, b), 1e-12) {
+				t.Fatalf("iter %d: Mul (%d,%d,%d) diverges from MulNaive", iter, n, k, p)
+			}
+			bt := New(p, k)
+			randContents(bt, rng)
+			wantMulT := New(n, p)
+			naiveMulTInto(wantMulT, a, bt)
+			if !Equal(MulT(a, bt), wantMulT, 1e-12) {
+				t.Fatalf("iter %d: MulT (%d,%d,%d) diverges from naive", iter, n, k, p)
+			}
+			at := New(k, n)
+			randContents(at, rng)
+			wantTMul := New(n, p)
+			naiveTMulInto(wantTMul, at, b)
+			if !Equal(TMul(at, b), wantTMul, 1e-12) {
+				t.Fatalf("iter %d: TMul (%d,%d,%d) diverges from naive", iter, n, k, p)
+			}
+		}
+	})
+}
+
+// TestPropertyBlockedBitIdenticalAcrossWorkers enforces the tiled path's
+// determinism contract: for any tiling and any shape — aligned or not — the
+// blocked engine returns bit-identical results for every worker count.
+func TestPropertyBlockedBitIdenticalAcrossWorkers(t *testing.T) {
+	withScalarKernel(t, func(t *testing.T) {
+		defer SetTiling(SetTiling(DefaultTiling()))
+		shapes := [][3]int{{160, 120, 140}, {257, 129, 67}, {64, 512, 64}, {501, 33, 77}}
+		for _, tile := range propertyTilings {
+			SetTiling(tile)
+			for _, s := range shapes {
+				n, k, p := s[0], s[1], s[2]
+				a, b := randDense(n, k, int64(n+k)), randDense(k, p, int64(k+p))
+				orig := parallel.SetWorkers(1)
+				serial := New(n, p)
+				blockedMulInto(serial, a, b)
+				for _, w := range []int{2, 3, 8} {
+					parallel.SetWorkers(w)
+					got := New(n, p)
+					blockedMulInto(got, a, b)
+					exactEqual(t, fmt.Sprintf("blocked %v tiles %+v workers=%d", s, tile, w), got, serial)
+				}
+				parallel.SetWorkers(orig)
+			}
+		}
+	})
+}

@@ -150,7 +150,25 @@ const minBlock = 16
 // so nested For — including from inside a pool worker — cannot deadlock.
 // With Workers() <= 1 or n < 2*minBlock the body runs serially as
 // body(0, n).
-func For(n int, body func(lo, hi int)) {
+func For(n int, body func(lo, hi int)) { forBlocks(n, 1, body) }
+
+// ForGrain is For with a block-alignment grain: every block boundary except
+// the final n is a multiple of grain. Tiled kernels that process rows in
+// grain-sized groups (e.g. the blocked GEMM micro-kernel) therefore see at
+// most one partial group per call instead of one per worker block. The
+// layout is a pure function of (n, grain, Workers()), preserving For's
+// bit-reproducibility contract; grain <= 1 is exactly For.
+func ForGrain(n, grain int, body func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	forBlocks(n, grain, body)
+}
+
+// forBlocks implements For/ForGrain: split [0, n) into up to Workers()
+// contiguous blocks of at least minBlock rows, each starting on a multiple
+// of grain.
+func forBlocks(n, grain int, body func(lo, hi int)) {
 	w := Workers()
 	if n <= 0 {
 		return
@@ -159,18 +177,26 @@ func For(n int, body func(lo, hi int)) {
 	if nb > w {
 		nb = w
 	}
+	units := (n + grain - 1) / grain
+	if nb > units {
+		nb = units
+	}
 	if w <= 1 || nb < 2 {
 		body(0, n)
 		return
 	}
-	// Even split with the remainder spread over the first blocks keeps the
-	// layout a pure function of (n, nb).
-	size, rem := n/nb, n%nb
+	// Even split (in grain units) with the remainder spread over the first
+	// blocks keeps the layout a pure function of (n, grain, nb).
+	size, rem := units/nb, units%nb
 	bounds := func(b int) (int, int) {
-		lo := b*size + min(b, rem)
-		hi := lo + size
+		ulo := b*size + min(b, rem)
+		uhi := ulo + size
 		if b < rem {
-			hi++
+			uhi++
+		}
+		lo, hi := ulo*grain, uhi*grain
+		if hi > n {
+			hi = n
 		}
 		return lo, hi
 	}
@@ -222,6 +248,15 @@ func ForWork(n, work int, body func(lo, hi int)) {
 		return
 	}
 	For(n, body)
+}
+
+// ForWorkGrain is ForGrain with the same work gate as ForWork.
+func ForWorkGrain(n, work, grain int, body func(lo, hi int)) {
+	if work < MinWork {
+		body(0, n)
+		return
+	}
+	ForGrain(n, grain, body)
 }
 
 // Group is an errgroup-style fan-out: Go launches tasks bounded by a

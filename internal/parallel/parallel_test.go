@@ -83,6 +83,101 @@ func TestForBlockLayoutIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestForGrainAlignsBlockBoundaries verifies ForGrain's contract: full
+// coverage, each index exactly once, and every block boundary except the
+// final n on a multiple of the grain.
+func TestForGrainAlignsBlockBoundaries(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+
+	for _, w := range []int{1, 2, 4, 8} {
+		for _, grain := range []int{1, 3, 4, 7, 16} {
+			for _, n := range []int{0, 1, 5, 63, 64, 100, 1000, 1021} {
+				SetWorkers(w)
+				counts := make([]int32, n)
+				var mu sync.Mutex
+				var blocks [][2]int
+				ForGrain(n, grain, func(lo, hi int) {
+					if lo%grain != 0 {
+						t.Errorf("w=%d grain=%d n=%d: block start %d not grain-aligned", w, grain, n, lo)
+					}
+					if hi != n && hi%grain != 0 {
+						t.Errorf("w=%d grain=%d n=%d: block end %d not grain-aligned", w, grain, n, hi)
+					}
+					mu.Lock()
+					blocks = append(blocks, [2]int{lo, hi})
+					mu.Unlock()
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[i], 1)
+					}
+				})
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("w=%d grain=%d n=%d: index %d visited %d times", w, grain, n, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForGrainOneMatchesFor locks in that grain <= 1 degenerates to exactly
+// For's block layout, so ForGrain is a strict generalization.
+func TestForGrainOneMatchesFor(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	SetWorkers(4)
+
+	layout := func(run func(n int, body func(lo, hi int))) map[[2]int]bool {
+		var mu sync.Mutex
+		blocks := make(map[[2]int]bool)
+		run(1000, func(lo, hi int) {
+			mu.Lock()
+			blocks[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return blocks
+	}
+	a := layout(For)
+	b := layout(func(n int, body func(lo, hi int)) { ForGrain(n, 1, body) })
+	if len(a) != len(b) {
+		t.Fatalf("For produced %d blocks, ForGrain(1) %d", len(a), len(b))
+	}
+	for blk := range a {
+		if !b[blk] {
+			t.Fatalf("block %v in For but not ForGrain(1)", blk)
+		}
+	}
+}
+
+func TestForWorkGrainStaysSerialBelowThreshold(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	SetWorkers(8)
+
+	calls := 0
+	ForWorkGrain(1000, MinWork-1, 4, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 1000 {
+			t.Fatalf("serial ForWorkGrain got block [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("ForWorkGrain below threshold ran body %d times, want 1", calls)
+	}
+
+	var covered atomic.Int64
+	ForWorkGrain(1000, MinWork, 4, func(lo, hi int) {
+		if lo%4 != 0 {
+			t.Fatalf("ForWorkGrain block start %d not grain-aligned", lo)
+		}
+		covered.Add(int64(hi - lo))
+	})
+	if covered.Load() != 1000 {
+		t.Fatalf("ForWorkGrain covered %d rows, want 1000", covered.Load())
+	}
+}
+
 func TestForSerialWhenOneWorker(t *testing.T) {
 	orig := Workers()
 	defer SetWorkers(orig)

@@ -37,7 +37,7 @@ type Coord struct {
 func FromCoords(nRows, nCols int, entries []Coord) *CSR {
 	for _, e := range entries {
 		if e.Row < 0 || e.Row >= nRows || e.Col < 0 || e.Col >= nCols {
-			panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d", e.Row, e.Col, nRows, nCols))
+			panic(fmt.Sprintf("sparse: FromCoords entry (%d,%d) outside %dx%d", e.Row, e.Col, nRows, nCols))
 		}
 	}
 	sorted := make([]Coord, len(entries))
@@ -142,7 +142,7 @@ func (m *CSR) Degrees() []float64 {
 // least 1 (Â = A + I semantics: existing diagonal entries are left alone).
 func (m *CSR) WithSelfLoops() *CSR {
 	if m.NRows != m.NCols {
-		panic("sparse: WithSelfLoops requires a square matrix")
+		panic(fmt.Sprintf("sparse: WithSelfLoops requires a square matrix, got %dx%d", m.NRows, m.NCols))
 	}
 	coords := make([]Coord, 0, m.NNZ()+m.NRows)
 	for i := 0; i < m.NRows; i++ {
@@ -239,7 +239,8 @@ func (m *CSR) MulDense(x *matrix.Dense) *matrix.Dense {
 // alias x.
 func (m *CSR) MulDenseInto(dst, x *matrix.Dense) {
 	if m.NCols != x.Rows || dst.Rows != m.NRows || dst.Cols != x.Cols {
-		panic("sparse: MulDenseInto shape mismatch")
+		panic(fmt.Sprintf("sparse: MulDenseInto dst %dx%d for %dx%d · %dx%d",
+			dst.Rows, dst.Cols, m.NRows, m.NCols, x.Rows, x.Cols))
 	}
 	dst.Zero()
 	p := x.Cols
@@ -261,7 +262,7 @@ func (m *CSR) MulDenseInto(dst, x *matrix.Dense) {
 // MulVec computes m · v for a dense vector v.
 func (m *CSR) MulVec(v []float64) []float64 {
 	if m.NCols != len(v) {
-		panic("sparse: MulVec length mismatch")
+		panic(fmt.Sprintf("sparse: MulVec %dx%d · vector of len %d", m.NRows, m.NCols, len(v)))
 	}
 	out := make([]float64, m.NRows)
 	parallel.ForWork(m.NRows, m.NNZ(), func(rlo, rhi int) {
@@ -320,7 +321,7 @@ func (m *CSR) Prune(tol float64) *CSR {
 // unique and in range; the i-th row/col of the result corresponds to idx[i].
 func (m *CSR) Submatrix(idx []int) *CSR {
 	if m.NRows != m.NCols {
-		panic("sparse: Submatrix requires a square matrix")
+		panic(fmt.Sprintf("sparse: Submatrix requires a square matrix, got %dx%d", m.NRows, m.NCols))
 	}
 	remap := make(map[int]int, len(idx))
 	for newID, old := range idx {
