@@ -39,10 +39,14 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzCSRFromEdges$$' -fuzztime=15s ./internal/sparse
 	$(GO) test -run='^$$' -fuzz='^FuzzSpMMEquivalence$$' -fuzztime=15s ./internal/sparse
 
-# Smoke bench: every benchmark once, output preserved as the BENCH artifact.
-# File-then-cat instead of tee so a failing benchmark fails the target.
+# Smoke bench: every benchmark once, output preserved as the BENCH artifact
+# in both raw (bench-smoke.txt) and machine-readable (BENCH_smoke.json, via
+# cmd/benchjson) form. File-then-cat instead of tee so a failing benchmark
+# fails the target.
 bench:
 	@$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench-smoke.txt 2>&1; \
-	status=$$?; cat bench-smoke.txt; exit $$status
+	status=$$?; cat bench-smoke.txt; \
+	$(GO) run ./cmd/benchjson -in bench-smoke.txt -out BENCH_smoke.json || status=1; \
+	exit $$status
 
 ci: build lint test race cover fuzz bench

@@ -211,6 +211,67 @@ func BenchmarkGEMM(b *testing.B) {
 	}
 }
 
+// BenchmarkSpMM sweeps the blocked SpMM engine across graph sizes, densities
+// and worker counts, with the row-streamed kernel as baseline, so the CI
+// smoke-bench artifact tracks the blocked path's speedup alongside the GEMM
+// trajectory. path=blocked is the one-shot dispatch (panel reorganisation
+// per call); path=plan reuses one prebuilt sparse.Plan, the propagation-loop
+// pattern. All three paths are bit-identical for every worker count
+// (enforced by the property suite in internal/sparse).
+func BenchmarkSpMM(b *testing.B) {
+	const cols = 64
+	for _, n := range []int{5000, 50000} {
+		for _, deg := range []int{5, 20} {
+			adj, x := benchGraphCSR(n, deg, cols)
+			plan := sparse.NewPlan(adj)
+			for _, w := range workerCounts() {
+				paths := []struct {
+					name string
+					run  func()
+				}{
+					{"rowstream", func() { _ = adj.MulDenseNaive(x) }},
+					{"blocked", func() { _ = adj.MulDense(x) }},
+					{"plan", func() { _ = plan.MulDense(x) }},
+				}
+				for _, p := range paths {
+					b.Run(fmt.Sprintf("n=%d/deg=%d/cols=%d/path=%s/workers=%d", n, deg, cols, p.name, w), func(b *testing.B) {
+						orig := parallel.SetWorkers(w)
+						defer parallel.SetWorkers(orig)
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							p.run()
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSpMMPlanReuse contrasts k-step propagation with and without a
+// reusable plan at the engine's acceptance configuration (50k nodes, average
+// degree 20, 64-column operand, 8 steps): path=rebuild pays the dispatch
+// path's per-product reorganisation, path=plan builds the layout once.
+func BenchmarkSpMMPlanReuse(b *testing.B) {
+	const steps = 8
+	adj, x := benchGraphCSR(50000, 20, 64)
+	scratch := matrix.New(50000, 64)
+	b.Run("steps=8/path=rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cur := x
+			for k := 0; k < steps; k++ {
+				cur = adj.MulDense(cur)
+			}
+		}
+	})
+	b.Run("steps=8/path=plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan := sparse.NewPlan(adj)
+			plan.PropagateInto(x.Clone(), scratch, steps)
+		}
+	})
+}
+
 // BenchmarkParallelFederatedRound measures one FedAvg round with concurrent
 // per-client local training across worker counts.
 func BenchmarkParallelFederatedRound(b *testing.B) {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	"repro/internal/sparse"
 )
 
 func main() {
@@ -32,12 +33,16 @@ func main() {
 		seed      = flag.Int64("seed", 0, "base seed override")
 		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
 		gemmTiles = flag.String("gemm-tiles", "", "blocked GEMM tile sizes \"MC,KC,NC\" (empty = engine defaults); affects speed only (outputs stay within 1e-12)")
+		spmmPanel = flag.Int("spmm-panel", 0, "blocked SpMM panel width in sparse columns (0 = engine default); affects speed only (results are bit-identical)")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 	if err := matrix.SetTilingSpec(*gemmTiles); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *spmmPanel > 0 {
+		sparse.SetBlocking(sparse.Blocking{Panel: *spmmPanel})
 	}
 
 	if *list {

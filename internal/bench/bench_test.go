@@ -91,7 +91,7 @@ func TestTable1Lines(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table3i", "table4", "table5", "table6", "table7", "table8",
-		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "gemm"}
+		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "gemm", "spmm"}
 	for _, id := range want {
 		if _, ok := Experiments[id]; !ok {
 			t.Errorf("experiment %q missing from registry", id)
@@ -113,6 +113,21 @@ func TestGEMMExperiment(t *testing.T) {
 	}
 	if !strings.Contains(lines[3], "128x128") || !strings.Contains(lines[3], "x") {
 		t.Fatalf("first size row = %q", lines[3])
+	}
+}
+
+func TestSpMMExperiment(t *testing.T) {
+	lines, err := SpMM(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header (3 lines) + one row per case, the last being the engine's
+	// 50k-node / avg-degree-20 / 64-column acceptance configuration.
+	if len(lines) != 7 {
+		t.Fatalf("SpMM lines = %d, want 7", len(lines))
+	}
+	if !strings.Contains(lines[6], "50000n/d20 x 64") {
+		t.Fatalf("acceptance row = %q", lines[6])
 	}
 }
 

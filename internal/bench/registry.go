@@ -32,6 +32,7 @@ var Experiments = map[string]Experiment{
 	"fig10":   {"fig10", "Fig. 10: sparsity robustness", Fig10},
 	"fig11":   {"fig11", "Fig. 11: sparse client participation", Fig11},
 	"gemm":    {"gemm", "Micro: naive vs blocked dense GEMM speedup", GEMM},
+	"spmm":    {"spmm", "Micro: row-streamed vs blocked SpMM speedup (plan reuse included)", SpMM},
 }
 
 // IDs returns the experiment ids sorted.

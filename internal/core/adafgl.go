@@ -195,22 +195,28 @@ func newPersonal(g *graph.Graph, extractor models.Model, cfg models.Config, opt 
 	p.extLogits = extractor.Logits(false)
 	p.phat = matrix.SoftmaxRows(p.extLogits)
 
-	// Eq. (5)–(6): optimized probability propagation matrix.
-	if opt.DisableLT {
-		p.ptilde = g.NormAdj(sparse.NormSym).Dense()
-	} else {
-		p.ptilde = OptimizedPropagation(g, p.phat, opt.Alpha)
-	}
-
-	// Eq. (7): K-step federated knowledge-guided smoothing. The hop-0
+	// Eq. (5)–(6): optimized probability propagation matrix, then the
+	// Eq. (7) K-step federated knowledge-guided smoothing. The hop-0
 	// features are included in the concatenation so the MessageUpdater can
 	// weigh raw against smoothed evidence (the ego term of Eq. 7's X^(0)).
-	hops := make([]*matrix.Dense, 0, opt.K+1)
-	hops = append(hops, g.X)
-	cur := g.X
-	for k := 0; k < opt.K; k++ {
-		cur = matrix.Mul(p.ptilde, cur)
-		hops = append(hops, cur)
+	// With the learned blend, P̃ is dense and the K steps ride the blocked
+	// GEMM engine; under the LT ablation P̃ is the sparse Ã, so the steps
+	// reuse the graph's shared blocked-SpMM plan instead of densifying the
+	// product.
+	var hops []*matrix.Dense
+	if opt.DisableLT {
+		plan := g.NormAdjPlan(sparse.NormSym)
+		p.ptilde = plan.Matrix().Dense()
+		hops = models.PropagateK(plan, g.X, opt.K)
+	} else {
+		p.ptilde = OptimizedPropagation(g, p.phat, opt.Alpha)
+		hops = make([]*matrix.Dense, 0, opt.K+1)
+		hops = append(hops, g.X)
+		cur := g.X
+		for k := 0; k < opt.K; k++ {
+			cur = matrix.Mul(p.ptilde, cur)
+			hops = append(hops, cur)
+		}
 	}
 	p.propX = matrix.ConcatCols(hops...)
 
@@ -235,7 +241,9 @@ func newPersonal(g *graph.Graph, extractor models.Model, cfg models.Config, opt 
 // diagonal and degree-normalise symmetrically.
 func OptimizedPropagation(g *graph.Graph, phat *matrix.Dense, alpha float64) *matrix.Dense {
 	n := g.N
-	adense := g.NormAdj(sparse.NormSym).Dense()
+	// The α·Ã term reuses the graph's cached normalised adjacency (shared
+	// with the Step-1 extractor and the LP/HCS propagation plans).
+	adense := g.NormAdjPlan(sparse.NormSym).Matrix().Dense()
 	// P = α·A + (1-α)·P̂P̂ᵀ.
 	pp := matrix.MulT(phat, phat)
 	p := matrix.Scale(alpha, adense)

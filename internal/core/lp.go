@@ -35,7 +35,9 @@ func NonParamLP(g *graph.Graph, labelMask []bool, kappa float64, steps int) *mat
 			}
 		}
 	}
-	adj := g.NormAdj(sparse.NormSym)
+	// The graph's propagation plan is shared with every model bound to g, so
+	// the K LP steps (and each HCS call) reuse one blocked Ã layout.
+	adj := g.NormAdjPlan(sparse.NormSym)
 	y := y0.Clone()
 	for k := 0; k < steps; k++ {
 		prop := adj.MulDense(y)

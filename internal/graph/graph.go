@@ -33,8 +33,9 @@ type Graph struct {
 	// and their edges). Transductive graphs leave Eval nil.
 	Eval *Graph
 
-	adjMu sync.Mutex  // guards adj: clients may share a graph across goroutines
+	adjMu sync.Mutex  // guards adj and norm: clients may share a graph across goroutines
 	adj   *sparse.CSR // lazily built
+	norm  map[sparse.NormKind]*sparse.Plan
 }
 
 // New assembles a graph, canonicalising the edge list (deduplicated, u <= v).
@@ -92,16 +93,42 @@ func (g *Graph) Adj() *sparse.CSR {
 	return g.adj
 }
 
-// InvalidateAdj drops the cached adjacency after a topology mutation.
+// InvalidateAdj drops the cached adjacency (and the normalised plans built
+// from it) after a topology mutation.
 func (g *Graph) InvalidateAdj() {
 	g.adjMu.Lock()
 	g.adj = nil
+	g.norm = nil
 	g.adjMu.Unlock()
 }
 
 // NormAdj returns the self-looped, normalised adjacency Ã per Eq. (1).
+// The result is cached per NormKind and shared across callers, which must
+// treat it as read-only (mutate topology via AddEdges/RemoveEdges instead).
 func (g *Graph) NormAdj(kind sparse.NormKind) *sparse.CSR {
-	return g.Adj().WithSelfLoops().Normalized(kind)
+	return g.NormAdjPlan(kind).Matrix()
+}
+
+// NormAdjPlan returns a reusable propagation plan for Ã (the blocked SpMM
+// layout of NormAdj, see sparse.Plan), built lazily once per NormKind. Every
+// model and propagation loop bound to g shares the same plan, so the
+// normalisation and panel reorganisation cost is paid once per graph rather
+// than per product or per model.
+func (g *Graph) NormAdjPlan(kind sparse.NormKind) *sparse.Plan {
+	g.adjMu.Lock()
+	defer g.adjMu.Unlock()
+	if pl, ok := g.norm[kind]; ok {
+		return pl
+	}
+	if g.adj == nil {
+		g.adj = sparse.FromEdges(g.N, g.Edges)
+	}
+	pl := sparse.NewPlan(g.adj.WithSelfLoops().Normalized(kind))
+	if g.norm == nil {
+		g.norm = make(map[sparse.NormKind]*sparse.Plan, 1)
+	}
+	g.norm[kind] = pl
+	return pl
 }
 
 // Neighbors returns the neighbour ids of node v (no self).

@@ -11,8 +11,10 @@ import (
 )
 
 // PropagateK returns [X, ÃX, Ã²X, …, ÃᵏX] (k+1 matrices), the shared
-// pre-propagation step of the decoupled models and of AdaFGL Eq. (7).
-func PropagateK(adj *sparse.CSR, x *matrix.Dense, k int) []*matrix.Dense {
+// pre-propagation step of the decoupled models and of AdaFGL Eq. (7). It
+// takes a propagation plan so the blocked layout of Ã is reused across all
+// k steps (and across every caller sharing the plan).
+func PropagateK(adj *sparse.Plan, x *matrix.Dense, k int) []*matrix.Dense {
 	out := make([]*matrix.Dense, 0, k+1)
 	out = append(out, x)
 	cur := x
@@ -33,7 +35,7 @@ type SGC struct {
 
 // NewSGC builds SGC with cfg.Hops propagation steps.
 func NewSGC(g *graph.Graph, cfg Config, rng *rand.Rand) *SGC {
-	adj := g.NormAdj(sparse.NormSym)
+	adj := g.NormAdjPlan(sparse.NormSym)
 	hops := PropagateK(adj, g.X, cfg.Hops)
 	return &SGC{
 		g:      g,
@@ -72,7 +74,7 @@ type GAMLP struct {
 
 // NewGAMLP builds GAMLP with cfg.Hops hops and a 2-layer MLP head.
 func NewGAMLP(g *graph.Graph, cfg Config, rng *rand.Rand) *GAMLP {
-	adj := g.NormAdj(sparse.NormSym)
+	adj := g.NormAdjPlan(sparse.NormSym)
 	m := &GAMLP{
 		g:    g,
 		hops: PropagateK(adj, g.X, cfg.Hops),
@@ -146,7 +148,7 @@ func softmaxVec(v []float64) []float64 {
 // learned γ_k let the model exploit heterophily.
 type GPRGNN struct {
 	g     *graph.Graph
-	adj   *sparse.CSR
+	adj   *sparse.Plan  // reusable blocked-SpMM plan for Ã
 	gamma *nn.Parameter // 1 x (K+1)
 	mlp   *nn.MLP
 
@@ -157,7 +159,7 @@ type GPRGNN struct {
 func NewGPRGNN(g *graph.Graph, cfg Config, rng *rand.Rand) *GPRGNN {
 	m := &GPRGNN{
 		g:     g,
-		adj:   g.NormAdj(sparse.NormSym),
+		adj:   g.NormAdjPlan(sparse.NormSym),
 		gamma: nn.NewParameter("gpr.gamma", 1, cfg.Hops+1),
 		mlp:   nn.NewMLP("gpr", []int{g.X.Cols, cfg.Hidden, g.Classes}, cfg.Dropout, rng),
 	}

@@ -17,7 +17,7 @@ import (
 // Backpropagation through the SpMM uses Ãᵀ = Ã (symmetric normalisation).
 type GCN struct {
 	g    *graph.Graph
-	adj  *sparse.CSR
+	adj  *sparse.Plan // reusable blocked-SpMM plan for Ã
 	l1   *nn.Linear
 	l2   *nn.Linear
 	act  *nn.ReLU
@@ -27,11 +27,13 @@ type GCN struct {
 	h1 *matrix.Dense // Ã·X·W₁ pre-activation input to layer 2 chain
 }
 
-// NewGCN builds a 2-layer GCN bound to g.
+// NewGCN builds a 2-layer GCN bound to g. The Ã propagation plan is shared
+// with every other model bound to g, so its blocking cost is amortised
+// across all forward/backward passes of a training run.
 func NewGCN(g *graph.Graph, cfg Config, rng *rand.Rand) *GCN {
 	return &GCN{
 		g:    g,
-		adj:  g.NormAdj(sparse.NormSym),
+		adj:  g.NormAdjPlan(sparse.NormSym),
 		l1:   nn.NewLinear("gcn.l1", g.X.Cols, cfg.Hidden, rng),
 		l2:   nn.NewLinear("gcn.l2", cfg.Hidden, g.Classes, rng),
 		act:  &nn.ReLU{},

@@ -18,7 +18,7 @@ import (
 // with an input encoder H^(0) = ReLU(X·W_in) and an output head.
 type GCNII struct {
 	g   *graph.Graph
-	adj *sparse.CSR
+	adj *sparse.Plan // reusable blocked-SpMM plan for Ã
 
 	in   *nn.Linear
 	out  *nn.Linear
@@ -45,7 +45,7 @@ func NewGCNII(g *graph.Graph, cfg Config, rng *rand.Rand) *GCNII {
 	}
 	m := &GCNII{
 		g:      g,
-		adj:    g.NormAdj(sparse.NormSym),
+		adj:    g.NormAdjPlan(sparse.NormSym),
 		in:     nn.NewLinear("gcnii.in", g.X.Cols, cfg.Hidden, rng),
 		out:    nn.NewLinear("gcnii.out", cfg.Hidden, g.Classes, rng),
 		drop:   nn.NewDropout(cfg.Dropout, rng),

@@ -24,8 +24,8 @@ import (
 type GGCN struct {
 	g *graph.Graph
 
-	pos, neg   *sparse.CSR // row-normalised signed adjacencies
-	posT, negT *sparse.CSR
+	pos, neg   *sparse.Plan // row-normalised signed adjacencies (blocked plans)
+	posT, negT *sparse.Plan
 
 	l1    *nn.Linear
 	l2    *nn.Linear
@@ -37,15 +37,17 @@ type GGCN struct {
 	t, pt, nt *matrix.Dense
 }
 
-// NewGGCN builds a GGCN bound to g, precomputing the signed adjacencies.
+// NewGGCN builds a GGCN bound to g, precomputing the signed adjacencies and
+// their propagation plans (each signed operator is applied every epoch in
+// both directions).
 func NewGGCN(g *graph.Graph, cfg Config, rng *rand.Rand) *GGCN {
 	pos, neg := signedSplit(g)
 	m := &GGCN{
 		g:     g,
-		pos:   pos,
-		neg:   neg,
-		posT:  pos.Transpose(),
-		negT:  neg.Transpose(),
+		pos:   sparse.NewPlan(pos),
+		neg:   sparse.NewPlan(neg),
+		posT:  sparse.NewPlan(pos.Transpose()),
+		negT:  sparse.NewPlan(neg.Transpose()),
 		l1:    nn.NewLinear("ggcn.l1", g.X.Cols, cfg.Hidden, rng),
 		l2:    nn.NewLinear("ggcn.l2", cfg.Hidden, g.Classes, rng),
 		gates: nn.NewParameter("ggcn.gates", 1, 3),

@@ -185,8 +185,9 @@ func TestAccuracyFromLogits(t *testing.T) {
 
 func TestPropagateK(t *testing.T) {
 	g := testGraph(10, true, 17)
-	adj := g.NormAdj(sparse.NormSym)
-	hops := PropagateK(adj, g.X, 3)
+	plan := g.NormAdjPlan(sparse.NormSym)
+	adj := plan.Matrix()
+	hops := PropagateK(plan, g.X, 3)
 	if len(hops) != 4 {
 		t.Fatalf("PropagateK returned %d matrices, want 4", len(hops))
 	}

@@ -162,6 +162,32 @@ func FuzzSpMMEquivalence(f *testing.F) {
 			t.Fatalf("SpMM diverges from dense reference for %dx%d (nnz %d) · %dx%d",
 				m.NRows, m.NCols, m.NNZ(), x.Rows, x.Cols)
 		}
+		// The blocked engine must reproduce the row-streamed kernel
+		// bit-for-bit at every panel width, including widths that split the
+		// columns into many panels. The width is derived from the input so
+		// the fuzzer explores panel-boundary interactions.
+		ref := m.MulDenseNaive(x)
+		pw := 1
+		if len(data) > 1 {
+			pw = 1 + int(data[1])%8
+		}
+		for _, panel := range []int{pw, m.NCols} {
+			pl := NewPlanBlocking(m, Blocking{Panel: panel})
+			blocked := pl.MulDense(x)
+			for i, v := range blocked.Data {
+				if v != ref.Data[i] {
+					t.Fatalf("blocked (panel=%d) diverges from row-streamed kernel at %d: %v vs %v",
+						panel, i, v, ref.Data[i])
+				}
+			}
+			// Plan.MulDenseInto must overwrite stale dst contents too.
+			pdst := matrix.New(m.NRows, x.Cols)
+			pdst.Fill(math.Pi)
+			pl.MulDenseInto(pdst, x)
+			if !matrix.Equal(pdst, want, 1e-9) {
+				t.Fatalf("Plan.MulDenseInto (panel=%d) accumulated into stale dst", panel)
+			}
+		}
 		// MulDenseInto must overwrite stale dst contents, not accumulate.
 		dst := matrix.New(m.NRows, x.Cols)
 		dst.Fill(math.Pi)

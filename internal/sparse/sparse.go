@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 
 	"repro/internal/matrix"
 	"repro/internal/parallel"
@@ -127,15 +128,24 @@ func (m *CSR) RowDegree(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
 // matrix this is the node degree (self-loop counted once).
 func (m *CSR) Degrees() []float64 {
 	d := make([]float64, m.NRows)
-	for i := 0; i < m.NRows; i++ {
-		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		var s float64
-		for _, v := range m.Val[lo:hi] {
-			s += v
-		}
-		d[i] = s
-	}
+	m.degreesInto(d)
 	return d
+}
+
+// degreesInto computes per-row value sums into d (len NRows). Internal
+// callers pass pooled scratch so the hot normalisation path allocates
+// nothing per call.
+func (m *CSR) degreesInto(d []float64) {
+	parallel.ForWork(m.NRows, m.NNZ(), func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+			var s float64
+			for _, v := range m.Val[lo:hi] {
+				s += v
+			}
+			d[i] = s
+		}
+	})
 }
 
 // WithSelfLoops returns a copy of m (square) with the diagonal set to at
@@ -177,13 +187,16 @@ const (
 // D^{r-1}·Â·D^{-r}. m should already include self-loops for GCN semantics
 // (use WithSelfLoops). Zero-degree rows are left as zero rows.
 func (m *CSR) Normalized(kind NormKind) *CSR {
-	deg := m.Degrees()
+	degBuf := getF64(m.NRows)
+	deg := *degBuf
+	m.degreesInto(deg)
 	out := m.Clone()
-	parallel.ForWork(out.NRows, out.NNZ(), func(rlo, rhi int) {
+	parallel.ForWorkGrain(out.NRows, out.NNZ(), blockGrain, func(rlo, rhi int) {
 		for i := rlo; i < rhi; i++ {
 			normalizeRow(out, deg, i, kind)
 		}
 	})
+	f64Pool.Put(degBuf)
 	return out
 }
 
@@ -225,7 +238,10 @@ func sqrt(x float64) float64 {
 	return math.Sqrt(x)
 }
 
-// MulDense computes m · x (SpMM) into a new dense matrix.
+// MulDense computes m · x (SpMM) into a new dense matrix. Products with
+// nnz·x.Cols at or above BlockedSpMMCutover run on the blocked engine (see
+// blocked.go); smaller ones stay on the row-streamed kernel. Both paths are
+// bit-identical.
 func (m *CSR) MulDense(x *matrix.Dense) *matrix.Dense {
 	if m.NCols != x.Rows {
 		panic(fmt.Sprintf("sparse: MulDense %dx%d · %dx%d", m.NRows, m.NCols, x.Rows, x.Cols))
@@ -236,12 +252,54 @@ func (m *CSR) MulDense(x *matrix.Dense) *matrix.Dense {
 }
 
 // MulDenseInto computes dst = m·x. dst must be m.NRows x x.Cols and must not
-// alias x.
+// alias x. At or above the nnz·cols cutover the product reorganises into the
+// blocked engine with pooled scratch; callers multiplying the same matrix
+// repeatedly should build a Plan once instead.
 func (m *CSR) MulDenseInto(dst, x *matrix.Dense) {
 	if m.NCols != x.Rows || dst.Rows != m.NRows || dst.Cols != x.Cols {
 		panic(fmt.Sprintf("sparse: MulDenseInto dst %dx%d for %dx%d · %dx%d",
 			dst.Rows, dst.Cols, m.NRows, m.NCols, x.Rows, x.Cols))
 	}
+	checkNoAlias("MulDenseInto", dst, x)
+	if m.blockedWorthwhile(x.Cols) {
+		b := newBlocked(m, CurrentBlocking().Panel)
+		b.mulInto(dst, x)
+		b.release()
+		return
+	}
+	m.mulDenseRowsInto(dst, x)
+}
+
+// spmmRebuildFactor is the madds-per-reorganised-element margin the one-shot
+// blocked path must clear: reorganisation costs O(nnz + rows) regardless of
+// the operand width, while the kernel win scales with nnz·cols, so narrow
+// operands fall back to the row-streamed kernel (a Plan amortises the
+// rebuild away and has no such floor).
+const spmmRebuildFactor = 48
+
+// blockedWorthwhile reports whether a one-shot product should pay the panel
+// reorganisation.
+func (m *CSR) blockedWorthwhile(p int) bool {
+	work := m.NNZ() * p
+	return work >= BlockedSpMMCutover && work >= spmmRebuildFactor*(m.NNZ()+m.NRows) && m.blockable()
+}
+
+// MulDenseNaive computes m·x on the row-streamed kernel regardless of size.
+// It is the reference implementation the property/equivalence harness and
+// the BenchmarkSpMM sweep compare the blocked engine against.
+func (m *CSR) MulDenseNaive(x *matrix.Dense) *matrix.Dense {
+	if m.NCols != x.Rows {
+		panic(fmt.Sprintf("sparse: MulDenseNaive %dx%d · %dx%d", m.NRows, m.NCols, x.Rows, x.Cols))
+	}
+	out := matrix.New(m.NRows, x.Cols)
+	m.mulDenseRowsInto(out, x)
+	return out
+}
+
+// mulDenseRowsInto is the row-streamed SpMM kernel: each dst row accumulates
+// its entries in ascending column order; row blocks write disjoint dst rows,
+// so the parallel path is exact.
+func (m *CSR) mulDenseRowsInto(dst, x *matrix.Dense) {
 	dst.Zero()
 	p := x.Cols
 	parallel.ForWork(m.NRows, m.NNZ()*p, func(rlo, rhi int) {
@@ -257,6 +315,26 @@ func (m *CSR) MulDenseInto(dst, x *matrix.Dense) {
 			}
 		}
 	})
+}
+
+// checkNoAlias panics with a named-op message when dst's backing array
+// overlaps x's (including partial overlaps via subslices of one buffer):
+// SpMM reads x rows after writing dst rows, so an aliased destination
+// silently corrupts the product.
+func checkNoAlias(op string, dst, x *matrix.Dense) {
+	if dst != x && (len(dst.Data) == 0 || len(x.Data) == 0) {
+		return
+	}
+	if dst != x {
+		d0 := uintptr(unsafe.Pointer(&dst.Data[0]))
+		dEnd := d0 + uintptr(len(dst.Data))*unsafe.Sizeof(dst.Data[0])
+		x0 := uintptr(unsafe.Pointer(&x.Data[0]))
+		xEnd := x0 + uintptr(len(x.Data))*unsafe.Sizeof(x.Data[0])
+		if dEnd <= x0 || xEnd <= d0 {
+			return
+		}
+	}
+	panic(fmt.Sprintf("sparse: %s dst must not alias x", op))
 }
 
 // MulVec computes m · v for a dense vector v.

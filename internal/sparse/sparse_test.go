@@ -285,7 +285,7 @@ func TestQuickSymNormSpectralRadius(t *testing.T) {
 	}
 }
 
-func BenchmarkSpMM(b *testing.B) {
+func BenchmarkMulDenseSmall(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	n := 2000
 	var edges [][2]int

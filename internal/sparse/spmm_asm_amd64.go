@@ -1,0 +1,19 @@
+//go:build amd64
+
+package sparse
+
+// hasAVX reports whether the CPU and OS support the AVX axpy micro-kernel
+// (implemented in spmm_amd64.s).
+func hasAVX() bool
+
+// spmmRunAVX accumulates dst[0:p] += Σ_{k<n} vals[k]·x[cols[k]*p : +p] in
+// ascending k, using separate VMULPD/VADDPD per element (no FMA contraction)
+// so results are bit-identical to the scalar loop in axpyRun. It must only
+// be called when useSIMD is true, p >= 4 and n >= 1.
+//
+//go:noescape
+func spmmRunAVX(dst, x *float64, p int, cols *int32, vals *float64, n int)
+
+// useSIMD gates the assembly micro-kernel. Detected once at start-up;
+// overridable in tests to exercise the scalar path on SIMD machines.
+var useSIMD = hasAVX()

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package sparse
+
+// useSIMD is always false off amd64: the blocked engine runs on the portable
+// scalar axpy loop.
+var useSIMD = false
+
+// spmmRunAVX is never called when useSIMD is false.
+func spmmRunAVX(dst, x *float64, p int, cols *int32, vals *float64, n int) {
+	panic("sparse: SIMD axpy kernel unavailable on this architecture")
+}
