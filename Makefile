@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race cover fuzz bench ci
+.PHONY: all build lint docs-lint test race cover fuzz bench ci
 
 all: build
 
@@ -14,6 +14,15 @@ lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+# Documentation gate, matching the CI "docs-lint" job: every internal
+# package needs a package comment, the substrate packages (federated,
+# sparse, matrix, parallel) need docs on every exported identifier
+# (cmd/docslint), ARCHITECTURE.md must exist and be linked from README.
+docs-lint:
+	$(GO) run ./cmd/docslint
+	@test -f ARCHITECTURE.md || { echo "ARCHITECTURE.md missing" >&2; exit 1; }
+	@grep -q 'ARCHITECTURE.md' README.md || { echo "README.md must link ARCHITECTURE.md" >&2; exit 1; }
 
 test:
 	$(GO) test ./...
@@ -49,4 +58,4 @@ bench:
 	$(GO) run ./cmd/benchjson -in bench-smoke.txt -out BENCH_smoke.json || status=1; \
 	exit $$status
 
-ci: build lint test race cover fuzz bench
+ci: build lint docs-lint test race cover fuzz bench

@@ -272,6 +272,47 @@ func BenchmarkSpMMPlanReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkFedAsyncRound sweeps the asynchronous aggregation engine across
+// commit thresholds (K=1 committing on every arrival, K=N/2 buffered, K=N
+// the full synchronous barrier) and worker counts under a 4x-straggler speed
+// model, so the smoke-bench artifact tracks the engine-machinery overhead of
+// the virtual-clock scheduler alongside the synchronous baseline
+// (BenchmarkParallelFederatedRound). Results are bit-identical across worker
+// counts for every K (enforced by internal/federated's async suite).
+func BenchmarkFedAsyncRound(b *testing.B) {
+	spec, err := datasets.ByName("Cora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const clients = 8
+	speed := &federated.SpeedModel{Slowdown: []float64{4}, Jitter: 0.05, Seed: 1}
+	for _, k := range []int{1, clients / 2, clients} {
+		for _, w := range workerCounts() {
+			b.Run(fmt.Sprintf("K=%d/workers=%d", k, w), func(b *testing.B) {
+				orig := parallel.SetWorkers(w)
+				defer parallel.SetWorkers(orig)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					g := datasets.GenerateScaled(spec, 0.3, 5)
+					cd := partition.CommunitySplit(g, clients, rand.New(rand.NewSource(5)))
+					cfg := models.DefaultConfig()
+					cfg.Hidden = 32
+					fleet := federated.BuildClients(cd.Subgraphs, models.Registry["GCN"], cfg, 5)
+					o := federated.DefaultOptions()
+					o.Rounds = 2
+					o.LocalEpochs = 3
+					o.Async = federated.AsyncOptions{Enabled: true, MinUpdates: k, Speed: speed}
+					b.StartTimer()
+					if _, err := federated.Run(fleet, 6, o); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkParallelFederatedRound measures one FedAvg round with concurrent
 // per-client local training across worker counts.
 func BenchmarkParallelFederatedRound(b *testing.B) {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/federated"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
@@ -34,6 +35,10 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
 		gemmTiles = flag.String("gemm-tiles", "", "blocked GEMM tile sizes \"MC,KC,NC\" (empty = engine defaults); affects speed only (outputs stay within 1e-12)")
 		spmmPanel = flag.Int("spmm-panel", 0, "blocked SpMM panel width in sparse columns (0 = engine default); affects speed only (results are bit-identical)")
+
+		async          = flag.Bool("async", false, "run Step-1 federated training on the asynchronous staleness-aware aggregation engine")
+		asyncK         = flag.Int("async-k", 0, "async commit threshold K: commit a round once K client updates are buffered (0 or >= participants = full synchronous barrier)")
+		asyncStaleness = flag.Float64("async-staleness", 0, "async staleness discount α — an update s rounds stale is weighted α/(1+s) (0 = 1.0, leaving fresh updates undiscounted)")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -81,6 +86,7 @@ func main() {
 	if *seed != 0 {
 		scale.Seed = *seed
 	}
+	scale.Async = federated.AsyncOptions{Enabled: *async, MinUpdates: *asyncK, Staleness: *asyncStaleness}
 
 	ids := []string{*exp}
 	if *exp == "all" {

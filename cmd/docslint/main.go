@@ -1,0 +1,213 @@
+// Command docslint is the documentation gate of the repository, run by
+// `make docs-lint` and the CI docs-lint job. It enforces two tiers:
+//
+//  1. Every package under internal/ must carry a package comment
+//     ("// Package <name> ..." on some file's package clause).
+//  2. Strict packages (the shared substrate other layers build on:
+//     internal/federated, internal/sparse, internal/matrix,
+//     internal/parallel) must additionally document every exported
+//     top-level identifier — funcs, methods with exported receivers,
+//     types, consts and vars.
+//
+// Violations are printed one per line as file:line: message and the exit
+// status is 1; a clean tree prints nothing and exits 0.
+//
+// Usage:
+//
+//	go run ./cmd/docslint [root]
+//
+// root defaults to ".". Test files and generated assembly stubs are exempt
+// from the strict tier only if unexported; exported symbols in build-tagged
+// files are checked like any other.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// strictDirs lists the packages whose exported surface must be fully
+// documented, relative to the repository root.
+var strictDirs = map[string]bool{
+	"internal/federated": true,
+	"internal/sparse":    true,
+	"internal/matrix":    true,
+	"internal/parallel":  true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	dirs, err := goPackageDirs(filepath.Join(root, "internal"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docslint:", err)
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		rel = filepath.ToSlash(rel)
+		p, err := lintDir(dir, rel, strictDirs[rel])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docslint:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "docslint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// goPackageDirs returns every directory under root containing at least one
+// non-test .go file.
+func goPackageDirs(root string) ([]string, error) {
+	set := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		set[filepath.Dir(path)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(set))
+	for d := range set {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// lintDir parses one package directory and reports its documentation
+// violations. rel is the root-relative path used in messages; strict adds
+// the exported-identifier tier.
+func lintDir(dir, rel string, strict bool) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", rel, err)
+	}
+	var problems []string
+	for name, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.HasPrefix(strings.TrimSpace(f.Doc.Text()), "Package ") {
+				hasPkgDoc = true
+				break
+			}
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment (\"// Package %s ...\")", rel, name, name))
+		}
+		if !strict {
+			continue
+		}
+		// Deterministic file order for stable output.
+		files := make([]string, 0, len(pkg.Files))
+		for fname := range pkg.Files {
+			files = append(files, fname)
+		}
+		sort.Strings(files)
+		for _, fname := range files {
+			problems = append(problems, lintFile(fset, pkg.Files[fname])...)
+		}
+	}
+	return problems, nil
+}
+
+// lintFile reports every exported top-level identifier of f that lacks a
+// doc comment.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s is undocumented", filepath.ToSlash(p.Filename), p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Recv != nil && exportedRecv(d) == "" {
+				continue
+			}
+			if d.Doc == nil {
+				kind := "function"
+				name := d.Name.Name
+				if d.Recv != nil {
+					kind = "method"
+					name = exportedRecv(d) + "." + name
+				}
+				report(d.Pos(), kind, name)
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+						report(sp.Pos(), "type", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, id := range sp.Names {
+						if id.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+							report(id.Pos(), strings.ToLower(d.Tok.String()), id.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedRecv returns the exported receiver type name of a method, or ""
+// for functions and methods on unexported types (whose exported methods are
+// not reachable outside the package and are therefore exempt).
+func exportedRecv(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers parse as index expressions: T[P] / T[P1, P2].
+	switch x := t.(type) {
+	case *ast.IndexExpr:
+		t = x.X
+	case *ast.IndexListExpr:
+		t = x.X
+	}
+	if id, ok := t.(*ast.Ident); ok && id.IsExported() {
+		return id.Name
+	}
+	return ""
+}

@@ -50,13 +50,13 @@ func main() {
 			i, sub.N, sub.M(), sub.EdgeHomophily())
 	}
 
-	// 3. Shared training configuration (paper protocol, reduced rounds).
+	// 3. Shared training configuration. federated.DefaultOptions is exactly
+	// this example's scale (30 rounds x 3 local epochs, full participation);
+	// see federated.PaperOptions for the full Sec. IV-A protocol.
 	cfg := models.DefaultConfig()
 	cfg.Hidden = 32
 	cfg.Dropout = 0
 	fed := federated.DefaultOptions()
-	fed.Rounds = 30
-	fed.LocalEpochs = 3
 
 	// 4. Baseline: federated GCN with local correction.
 	gcn := fgl.FedModel{Arch: "GCN", Correction: 10}

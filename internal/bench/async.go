@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/federated"
+	"repro/internal/models"
+)
+
+// Async is the aggregation-engine experiment ("async"): sync vs async
+// rounds-to-accuracy and simulated wall-clock under a skewed client-speed
+// distribution. One client runs 4x slower than the rest (plus mild jitter),
+// the scenario the asynchronous engine targets: the synchronous barrier pays
+// the straggler every round, while K-of-N buffered commits ride the fast
+// clients and fold the straggler's updates in staleness-discounted. The
+// experiment cross-checks the engine's degradation contract on every run —
+// the K=N async row must be bit-identical to the synchronous reference — and
+// reports, per engine, the commit count and simulated time at which the run
+// first reaches 95% of the synchronous final accuracy.
+func Async(s Scale) ([]string, error) {
+	const dataset = "Cora"
+	const skew = 4.0
+	newClients := func() ([]*federated.Client, error) {
+		subs, err := MakeSplit(dataset, Community, s, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return federated.BuildClients(subs, models.Registry["GCN"], s.cfg(), s.Seed), nil
+	}
+	probe, err := newClients()
+	if err != nil {
+		return nil, err
+	}
+	n := len(probe)
+	// Clients beyond len(Slowdown) run at nominal speed, so one entry skews
+	// exactly one straggler.
+	speed := &federated.SpeedModel{Slowdown: []float64{skew}, Jitter: 0.05, Seed: s.Seed}
+
+	// The experiment owns its engine configuration end to end — the global
+	// -async/-async-k/-async-staleness flags (Scale.Async) must not bleed
+	// into either the synchronous reference or the K sweep, or the K=N
+	// bit-parity cross-check below would be comparing different protocols.
+	run := func(k int) (*federated.Result, error) {
+		clients, err := newClients()
+		if err != nil {
+			return nil, err
+		}
+		o := s.fedOpts(s.Seed)
+		// Equal total work across engines: a K-of-N commit consumes K local
+		// updates where a synchronous round consumes N, so K gets N/K times
+		// the commits of the sync run (exactly Rounds at K = N, keeping the
+		// bit-parity cross-check meaningful).
+		o.Rounds = (o.Rounds*n + k - 1) / k
+		o.Async = federated.AsyncOptions{Enabled: true, MinUpdates: k, Speed: speed}
+		return federated.Run(clients, s.Seed+1, o)
+	}
+
+	// Synchronous reference (real Server.Run) and its async K=N twin, which
+	// must be bit-identical and additionally carries the simulated timeline.
+	syncOpts := s.fedOpts(s.Seed)
+	syncOpts.Async = federated.AsyncOptions{}
+	syncRes, err := federated.Run(probe, s.Seed+1, syncOpts)
+	if err != nil {
+		return nil, err
+	}
+	barrier, err := run(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range syncRes.GlobalParams {
+		if barrier.GlobalParams[i] != syncRes.GlobalParams[i] {
+			return nil, fmt.Errorf("bench: async K=N diverges from the synchronous reference at param %d", i)
+		}
+	}
+
+	target := 0.95 * syncRes.TestAcc
+	lines := []string{
+		fmt.Sprintf("Async aggregation: sync vs K-of-N commits on %s, %d clients, %d rounds", dataset, n, syncOpts.Rounds),
+		fmt.Sprintf("speed skew: client 0 at %.0fx, jitter 5%%; target = 95%% of sync final accuracy (%.3f)", skew, target),
+		fmt.Sprintf("%-12s %9s %9s %12s %12s %10s", "engine", "final", "@target", "t(target)", "t(end)", "staleness"),
+	}
+	row := func(name string, r *federated.Result) {
+		hitRound, hitTime := -1, 0.0
+		for i, acc := range r.RoundAcc {
+			if acc >= target {
+				hitRound = i + 1
+				if len(r.RoundTime) > i {
+					hitTime = r.RoundTime[i]
+				}
+				break
+			}
+		}
+		at, tTarget, tEnd := "never", "-", "-"
+		if hitRound > 0 {
+			at = fmt.Sprintf("r%d", hitRound)
+			if len(r.RoundTime) > 0 {
+				tTarget = fmt.Sprintf("%.0f", hitTime)
+			}
+		}
+		if len(r.RoundTime) > 0 {
+			tEnd = fmt.Sprintf("%.0f", r.RoundTime[len(r.RoundTime)-1])
+		}
+		lines = append(lines, fmt.Sprintf("%-12s %9.3f %9s %12s %12s %10.2f",
+			name, r.TestAcc, at, tTarget, tEnd, r.MeanStaleness))
+	}
+	row("sync", syncRes)
+	row(fmt.Sprintf("async K=%d", n), barrier)
+	seen := map[int]bool{n: true}
+	for _, k := range []int{n - 1, (n + 1) / 2, 1} {
+		if k < 1 || k >= n || seen[k] {
+			continue
+		}
+		seen[k] = true
+		r, err := run(k)
+		if err != nil {
+			return nil, err
+		}
+		row(fmt.Sprintf("async K=%d", k), r)
+	}
+	return lines, nil
+}

@@ -42,6 +42,10 @@ type Scale struct {
 	// Correction is the local-correction epoch budget for GNN wrappers.
 	Correction int
 	Seed       int64
+	// Async configures the Step-1 aggregation engine for every experiment
+	// (wired to the -async/-async-k/-async-staleness flags of
+	// cmd/adafgl-bench); the zero value keeps the synchronous reference.
+	Async federated.AsyncOptions
 }
 
 // DefaultScale is the smoke scale used by tests and testing.B benches.
@@ -66,6 +70,7 @@ func (s Scale) fedOpts(seed int64) federated.Options {
 	o.Rounds = s.Rounds
 	o.LocalEpochs = s.LocalEpochs
 	o.Seed = seed
+	o.Async = s.Async
 	return o
 }
 

@@ -91,7 +91,7 @@ func TestTable1Lines(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table3i", "table4", "table5", "table6", "table7", "table8",
-		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "gemm", "spmm"}
+		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "gemm", "spmm", "async"}
 	for _, id := range want {
 		if _, ok := Experiments[id]; !ok {
 			t.Errorf("experiment %q missing from registry", id)
@@ -128,6 +128,26 @@ func TestSpMMExperiment(t *testing.T) {
 	}
 	if !strings.Contains(lines[6], "50000n/d20 x 64") {
 		t.Fatalf("acceptance row = %q", lines[6])
+	}
+}
+
+func TestAsyncExperiment(t *testing.T) {
+	s := tinyScale()
+	s.Rounds = 8
+	lines, err := Async(s)
+	if err != nil { // includes the K=N vs Server.Run bit-parity cross-check
+		t.Fatal(err)
+	}
+	// Header (3 lines) + sync + async K=N + rows for K in {N-1, ceil(N/2), 1}
+	// (deduplicated at tiny client counts).
+	if len(lines) < 7 {
+		t.Fatalf("Async lines = %d: %v", len(lines), lines)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"sync", "async K=", "staleness"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
 	}
 }
 

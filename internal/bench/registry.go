@@ -33,6 +33,7 @@ var Experiments = map[string]Experiment{
 	"fig11":   {"fig11", "Fig. 11: sparse client participation", Fig11},
 	"gemm":    {"gemm", "Micro: naive vs blocked dense GEMM speedup", GEMM},
 	"spmm":    {"spmm", "Micro: row-streamed vs blocked SpMM speedup (plan reuse included)", SpMM},
+	"async":   {"async", "Micro: sync vs async aggregation under client-speed skew", Async},
 }
 
 // IDs returns the experiment ids sorted.

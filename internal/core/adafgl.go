@@ -85,8 +85,9 @@ func (a *AdaFGL) Run(subgraphs []*graph.Graph, cfg models.Config, fedOpt federat
 		return nil, err
 	}
 	clients := federated.BuildClients(subgraphs, build, cfg, fedOpt.Seed)
-	srv := federated.NewServer(clients, fedOpt.Seed+1)
-	fedRes, err := srv.Run(fedOpt)
+	// federated.Run picks the synchronous reference or the asynchronous
+	// staleness-aware engine per fedOpt.Async.
+	fedRes, err := federated.Run(clients, fedOpt.Seed+1, fedOpt)
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +96,8 @@ func (a *AdaFGL) Run(subgraphs []*graph.Graph, cfg models.Config, fedOpt federat
 		RoundAcc:      fedRes.RoundAcc,
 		GlobalParams:  fedRes.GlobalParams,
 		BytesPerRound: fedRes.BytesPerRound,
+		RoundTime:     fedRes.RoundTime,
+		MeanStaleness: fedRes.MeanStaleness,
 	}
 	a.Reports = a.Reports[:0]
 

@@ -1,0 +1,293 @@
+package federated
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/parallel"
+)
+
+// AsyncOptions configures the asynchronous staleness-aware aggregation
+// engine (AsyncServer). The zero value disables it, keeping the synchronous
+// FedAvg reference path.
+type AsyncOptions struct {
+	// Enabled routes federated.Run through AsyncServer instead of Server.
+	Enabled bool
+	// MinUpdates is the K of buffered K-of-N aggregation: the server commits
+	// a round as soon as K client updates are buffered instead of waiting
+	// for every participant. 0 (or any value >= the per-round participant
+	// count) commits only when all participants have arrived — a full
+	// synchronous barrier, bit-identical to Server.Run when Staleness
+	// leaves fresh updates undiscounted.
+	MinUpdates int
+	// Staleness is the α of the FedAsync-style discount α/(1+s): an update
+	// trained from a global model s commits old joins the aggregate with
+	// weight n_i·α/(1+s). 0 means 1.0, under which fresh updates (s = 0)
+	// carry exactly their synchronous weight n_i — the setting that makes
+	// MinUpdates = N degrade gracefully to the bit-exact synchronous
+	// reference. Lower α shrinks every buffered update toward the fresh
+	// participants, higher staleness shrinks stragglers harder.
+	Staleness float64
+	// Speed is the simulated per-client duration model driving the virtual
+	// clock. Nil runs every client at nominal speed (duration = local epochs
+	// × labeled-node count, no jitter).
+	Speed *SpeedModel
+}
+
+// SpeedModel deterministically assigns a simulated duration to every local
+// training job, driving AsyncServer's virtual clock. A job's duration is
+//
+//	LocalEpochs × max(1, train size) × Slowdown[client] × (1 + Jitter·u)
+//
+// with u drawn uniformly from [-1, 1) on a stream seeded by (Seed, client),
+// so durations — and therefore the whole commit schedule — are a pure
+// function of the model and the dispatch sequence, never of worker count or
+// machine load. Time units are abstract ("one epoch over one labeled node");
+// only ratios between clients and engines are meaningful.
+type SpeedModel struct {
+	// Slowdown multiplies client i's durations by Slowdown[i] (1.0 =
+	// nominal). Clients beyond len(Slowdown), and entries <= 0, run at 1.0.
+	// A skewed fleet — e.g. one entry at 4 — reproduces the straggler
+	// scenarios the async engine exists for.
+	Slowdown []float64
+	// Jitter is the relative amplitude of per-dispatch duration noise in
+	// [0, 1); 0 disables it.
+	Jitter float64
+	// Seed seeds the per-client jitter streams.
+	Seed int64
+}
+
+// duration returns the simulated cost of one dispatch of client index ci
+// whose nominal work (epochs × labeled nodes) is work. jr is the client's
+// private jitter stream; it is only consumed when Jitter > 0.
+func (m *SpeedModel) duration(work float64, ci int, jr *rand.Rand) float64 {
+	d := work
+	if ci < len(m.Slowdown) && m.Slowdown[ci] > 0 {
+		d *= m.Slowdown[ci]
+	}
+	if m.Jitter > 0 {
+		d *= 1 + m.Jitter*(2*jr.Float64()-1)
+	}
+	return d
+}
+
+// AsyncServer coordinates buffered asynchronous FedAvg over a set of
+// clients: clients train concurrently on a bounded worker pool, the server
+// commits a round as soon as AsyncOptions.MinUpdates updates are buffered,
+// and late (stale) updates are discounted FedAsync-style instead of stalling
+// the fleet. A seeded virtual clock (SpeedModel) orders arrivals, so runs
+// are bit-reproducible for every worker count; with MinUpdates covering all
+// participants the engine degrades to the synchronous reference exactly.
+type AsyncServer struct {
+	Clients []*Client
+	rng     *rand.Rand
+}
+
+// NewAsyncServer wraps the clients; the rng drives participation sampling
+// exactly as in NewServer, so a MinUpdates=N async run samples the same
+// participant permutations as the synchronous server under the same seed.
+func NewAsyncServer(clients []*Client, seed int64) *AsyncServer {
+	return &AsyncServer{Clients: clients, rng: rand.New(rand.NewSource(seed))}
+}
+
+// asyncJob tracks one dispatched local-training task from broadcast to
+// arrival at the server.
+type asyncJob struct {
+	client  int     // index into Clients
+	version int     // global model version trained from
+	seq     int     // global dispatch sequence number
+	finish  float64 // virtual arrival time
+	weight  float64 // FedAvg data-size weight n_i
+	done    chan struct{}
+	params  []float64
+	err     error
+}
+
+// Run executes asynchronous buffered FedAvg for opt.Rounds commits.
+//
+// Scheduling is event-driven on the virtual clock: every dispatched client
+// trains concurrently (bounded by parallel.Workers()), but the server
+// harvests arrivals strictly in (virtual finish time, dispatch sequence)
+// order and aggregates each commit's buffer in dispatch order — so the
+// sequence of global models depends only on the seed and the speed model,
+// never on scheduling. Each commit averages the K buffered updates with
+// weights n_i·α/(1+staleness), plus the current global anchored by the data
+// mass of clients still in flight (FedBuff-style, so a small buffer cannot
+// yank the model toward one client; the anchor vanishes at K = N).
+// Contributors are then re-broadcast the new global model and re-dispatched,
+// while still-running clients keep training on the parameters they were
+// given. Round accuracies are evaluated after the schedule finishes
+// (evaluation is RNG-free, so the curve matches the synchronous engine's
+// interleaved evaluation bit for bit).
+func (s *AsyncServer) Run(opt Options) (*Result, error) {
+	dim, err := checkClients(s.Clients)
+	if err != nil {
+		return nil, err
+	}
+	nPart := participantCount(len(s.Clients), opt.Participation)
+	k := opt.Async.MinUpdates
+	if k <= 0 || k > nPart {
+		k = nPart
+	}
+	alpha := opt.Async.Staleness
+	if alpha <= 0 {
+		alpha = 1
+	}
+	speed := opt.Async.Speed
+	if speed == nil {
+		speed = &SpeedModel{}
+	}
+	jitter := make([]*rand.Rand, len(s.Clients))
+	for i := range jitter {
+		jitter[i] = rand.New(rand.NewSource(speed.Seed + 7907*int64(i)))
+	}
+
+	global := nn.Flatten(s.Clients[0].Model) // initial broadcast model
+	res := &Result{BytesPerRound: k * dim * 8 * 2}
+
+	var (
+		grp      = parallel.NewGroup(parallel.Workers())
+		inflight []*asyncJob
+		buffer   []*asyncJob
+		busy     = make([]bool, len(s.Clients))
+		now      float64
+		version  int
+		seq      int
+	)
+	dispatch := func(ci int) {
+		c := s.Clients[ci]
+		w := float64(c.TrainSize())
+		if w == 0 {
+			w = 1
+		}
+		job := &asyncJob{
+			client: ci, version: version, seq: seq, weight: w,
+			finish: now + speed.duration(float64(opt.LocalEpochs)*w, ci, jitter[ci]),
+			done:   make(chan struct{}),
+		}
+		seq++
+		busy[ci] = true
+		inflight = append(inflight, job)
+		// Snapshot the broadcast: the server may commit new globals while
+		// this client is still training on the old one.
+		bcast := append([]float64(nil), global...)
+		grp.Go(func() error {
+			defer close(job.done)
+			if err := nn.Unflatten(c.Model, bcast); err != nil {
+				job.err = fmt.Errorf("federated: broadcast to client %d: %w", c.ID, err)
+				return job.err
+			}
+			c.TrainLocal(opt.LocalEpochs)
+			job.params = nn.Flatten(c.Model)
+			return nil
+		})
+	}
+	// harvest removes and returns the in-flight job with the earliest
+	// (finish, seq), blocking until its training completes.
+	harvest := func() *asyncJob {
+		best := 0
+		for i, job := range inflight[1:] {
+			if job.finish < inflight[best].finish ||
+				(job.finish == inflight[best].finish && job.seq < inflight[best].seq) {
+				best = i + 1
+			}
+		}
+		job := inflight[best]
+		inflight = append(inflight[:best], inflight[best+1:]...)
+		<-job.done
+		return job
+	}
+
+	// Initial wave: one participation draw, like the synchronous round head.
+	perm := s.rng.Perm(len(s.Clients))
+	for _, ci := range perm[:nPart] {
+		dispatch(ci)
+	}
+
+	globals := make([][]float64, 0, opt.Rounds)
+	var staleSum float64
+	var staleCount int
+	for commit := 0; commit < opt.Rounds; commit++ {
+		for len(buffer) < k {
+			job := harvest()
+			if job.err != nil {
+				grp.Wait() // let in-flight clients finish before unwinding
+				return nil, job.err
+			}
+			now = job.finish
+			busy[job.client] = false
+			buffer = append(buffer, job)
+		}
+		// Commit: aggregate the buffer in dispatch order (not arrival
+		// order), so when the buffer spans one synchronous wave the
+		// summation order — and hence the float result — matches Server.Run.
+		sort.Slice(buffer, func(i, j int) bool { return buffer[i].seq < buffer[j].seq })
+		agg := make([]float64, dim)
+		var totalW float64
+		for _, u := range buffer {
+			w := u.weight
+			staleness := version - u.version
+			if d := alpha / (1 + float64(staleness)); d != 1 {
+				w *= d
+			}
+			staleSum += float64(staleness)
+			staleCount++
+			for i, v := range u.params {
+				agg[i] += w * v
+			}
+			totalW += w
+		}
+		// Clients still training anchor the aggregate with their data mass
+		// through the current global (their last incorporated state), so a
+		// small buffer cannot yank the model toward one client. When every
+		// participant has arrived (K = N) the anchor weight is zero and the
+		// commit reduces to the exact synchronous weighted mean.
+		var anchorW float64
+		for _, u := range inflight {
+			anchorW += u.weight
+		}
+		if anchorW > 0 {
+			for i := range agg {
+				agg[i] += anchorW * global[i]
+			}
+			totalW += anchorW
+		}
+		for i := range agg {
+			agg[i] /= totalW
+		}
+		global = agg
+		version++
+		buffer = buffer[:0]
+		res.RoundTime = append(res.RoundTime, now)
+		globals = append(globals, global)
+		if commit+1 < opt.Rounds {
+			// Re-broadcast to every idle sampled participant; busy clients
+			// keep training on their stale snapshot. One permutation per
+			// commit keeps server-RNG consumption aligned with Server.Run.
+			perm := s.rng.Perm(len(s.Clients))
+			for _, ci := range perm[:nPart] {
+				if !busy[ci] {
+					dispatch(ci)
+				}
+			}
+		}
+	}
+	// Stragglers past the last commit never contribute; wait them out so the
+	// final evaluation below cannot race their model writes.
+	if err := grp.Wait(); err != nil {
+		return nil, err
+	}
+	if staleCount > 0 {
+		res.MeanStaleness = staleSum / float64(staleCount)
+	}
+	for _, g := range globals {
+		res.RoundAcc = append(res.RoundAcc, evalGlobal(s.Clients, g))
+	}
+	res.GlobalParams = global
+	if err := finalize(s.Clients, global, opt, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -2,7 +2,12 @@
 // substrate of the AdaFGL paper: FedAvg orchestration (Eq. 3–4) over
 // graph-bound client models, partial client participation, per-round
 // convergence recording (Figs. 8/9/11) and communication accounting
-// (Table VIII).
+// (Table VIII). Two aggregation engines share one protocol surface: Server
+// is the synchronous reference (every round barriers on all participants)
+// and AsyncServer is the buffered, staleness-aware asynchronous engine
+// (commits after K of N updates, discounting late ones FedAsync-style,
+// scheduled on a seeded virtual clock so runs stay bit-reproducible for any
+// worker count). federated.Run dispatches between them via Options.Async.
 package federated
 
 import (
@@ -86,21 +91,49 @@ func (c *Client) TestSize() int {
 	return graph.CountMask(c.Graph.TestMask)
 }
 
-// Options configures a federated run, defaulting to the paper's protocol
-// (100 rounds, 5 local epochs, full participation).
+// Options configures a federated run. The zero value is not usable (zero
+// rounds, zero participation); start from DefaultOptions (the scale the
+// runnable examples use) or PaperOptions (Sec. IV-A's full protocol) and
+// override fields.
 type Options struct {
-	Rounds        int
-	LocalEpochs   int
-	Participation float64 // fraction of clients sampled per round
+	// Rounds is the number of aggregation rounds (server commits). Must be
+	// >= 1. DefaultOptions: 30 (the examples' scale); PaperOptions: 100.
+	Rounds int
+	// LocalEpochs is the number of full-batch local training epochs each
+	// participant runs per round (Eq. 3). 0 makes every round a parameter
+	// no-op. DefaultOptions: 3; PaperOptions: 5.
+	LocalEpochs int
+	// Participation is the fraction of clients sampled uniformly (without
+	// replacement) each round, in (0, 1]; at least one client always
+	// participates. Both defaults use 1.0 (full participation, the paper's
+	// main protocol; Fig. 11 sweeps it down to 0.2).
+	Participation float64
 	// LocalCorrection fine-tunes each client's copy of the final global
 	// model locally for this many epochs before evaluation (the paper's
 	// "local corrections for all federated implementations of GNNs").
+	// 0 (both defaults) evaluates the broadcast model as-is.
 	LocalCorrection int
-	Seed            int64
+	// Seed drives participation sampling and, through BuildClients, every
+	// client's private RNG streams; two runs with equal Options and client
+	// fleets are bit-identical. Both defaults use 1.
+	Seed int64
+	// Async selects and configures the asynchronous staleness-aware
+	// aggregation engine (AsyncServer). The zero value keeps the synchronous
+	// FedAvg reference path.
+	Async AsyncOptions
 }
 
-// DefaultOptions mirrors Sec. IV-A.
+// DefaultOptions is the practical scale the runnable examples use
+// (examples/quickstart runs it verbatim): 30 rounds of 3 local epochs with
+// full participation converge on every laptop-scale synthetic dataset in
+// seconds. Use PaperOptions for the full Sec. IV-A protocol.
 func DefaultOptions() Options {
+	return Options{Rounds: 30, LocalEpochs: 3, Participation: 1.0, LocalCorrection: 0, Seed: 1}
+}
+
+// PaperOptions mirrors Sec. IV-A: 100 rounds, 5 local epochs, full
+// participation.
+func PaperOptions() Options {
 	return Options{Rounds: 100, LocalEpochs: 5, Participation: 1.0, LocalCorrection: 0, Seed: 1}
 }
 
@@ -119,8 +152,20 @@ type Result struct {
 	GlobalParams []float64
 	// BytesPerRound is the communication volume of one round: every
 	// participating client uploads and receives one parameter vector
-	// (8 bytes per float64).
+	// (8 bytes per float64). Under the async engine a round commits after
+	// MinUpdates uploads, so the volume scales with K instead of the
+	// participant count.
 	BytesPerRound int
+	// RoundTime is the simulated wall-clock (SpeedModel time units) at which
+	// each aggregation round committed. Filled only by the async engine; the
+	// synchronous path leaves it nil. Comparing an async run's RoundTime
+	// against a MinUpdates=N run of the same fleet gives the
+	// convergence-vs-wall-clock tradeoff directly.
+	RoundTime []float64
+	// MeanStaleness is the mean staleness, in committed rounds, of every
+	// update aggregated during the run. Filled only by the async engine;
+	// 0 whenever commits wait for all participants (MinUpdates = N).
+	MeanStaleness float64
 }
 
 // Server coordinates FedAvg over a set of clients.
@@ -134,25 +179,42 @@ func NewServer(clients []*Client, seed int64) *Server {
 	return &Server{Clients: clients, rng: rand.New(rand.NewSource(seed))}
 }
 
+// checkClients validates a fleet for aggregation (non-empty, uniform
+// parameter dimension) and returns the shared dimension.
+func checkClients(clients []*Client) (int, error) {
+	if len(clients) == 0 {
+		return 0, fmt.Errorf("federated: no clients")
+	}
+	dim := len(nn.Flatten(clients[0].Model))
+	for _, c := range clients[1:] {
+		if len(nn.Flatten(c.Model)) != dim {
+			return 0, fmt.Errorf("federated: client %d parameter dim mismatch", c.ID)
+		}
+	}
+	return dim, nil
+}
+
+// participantCount resolves Options.Participation to a per-round client
+// count (at least one).
+func participantCount(n int, participation float64) int {
+	nPart := int(float64(n) * participation)
+	if nPart < 1 {
+		nPart = 1
+	}
+	return nPart
+}
+
 // Run executes FedAvg per Eq. (4): broadcast, parallel local training,
 // data-size-weighted aggregation; repeated for opt.Rounds.
 func (s *Server) Run(opt Options) (*Result, error) {
-	if len(s.Clients) == 0 {
-		return nil, fmt.Errorf("federated: no clients")
-	}
-	dim := len(nn.Flatten(s.Clients[0].Model))
-	for _, c := range s.Clients[1:] {
-		if len(nn.Flatten(c.Model)) != dim {
-			return nil, fmt.Errorf("federated: client %d parameter dim mismatch", c.ID)
-		}
+	dim, err := checkClients(s.Clients)
+	if err != nil {
+		return nil, err
 	}
 	global := nn.Flatten(s.Clients[0].Model) // initial broadcast model
 	res := &Result{}
 
-	nPart := int(float64(len(s.Clients)) * opt.Participation)
-	if nPart < 1 {
-		nPart = 1
-	}
+	nPart := participantCount(len(s.Clients), opt.Participation)
 	res.BytesPerRound = nPart * dim * 8 * 2 // upload + download
 
 	// Scratch for the parallel local-training fan-out: each participant's
@@ -200,15 +262,24 @@ func (s *Server) Run(opt Options) (*Result, error) {
 			agg[i] /= totalW
 		}
 		global = agg
-		res.RoundAcc = append(res.RoundAcc, s.evalGlobal(global))
+		res.RoundAcc = append(res.RoundAcc, evalGlobal(s.Clients, global))
 	}
 	res.GlobalParams = global
+	if err := finalize(s.Clients, global, opt, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
-	// Final broadcast + optional local correction, then evaluation — again
-	// fanned out per client with a sequential weighted reduction.
-	accs := make([]float64, len(s.Clients))
+// finalize broadcasts the final global parameters, optionally applies local
+// correction, and fills res.PerClient/res.TestAcc with the test-size-weighted
+// evaluation — fanned out per client with a sequential weighted reduction.
+// Shared by the synchronous and asynchronous engines so the evaluation
+// protocol cannot drift between them.
+func finalize(clients []*Client, global []float64, opt Options, res *Result) error {
+	accs := make([]float64, len(clients))
 	grp := parallel.NewGroup(parallel.Workers())
-	for ci, c := range s.Clients {
+	for ci, c := range clients {
 		grp.Go(func() error {
 			if err := nn.Unflatten(c.Model, global); err != nil {
 				return err
@@ -221,10 +292,10 @@ func (s *Server) Run(opt Options) (*Result, error) {
 		})
 	}
 	if err := grp.Wait(); err != nil {
-		return nil, err
+		return err
 	}
 	var weighted, total float64
-	for ci, c := range s.Clients {
+	for ci, c := range clients {
 		res.PerClient = append(res.PerClient, accs[ci])
 		w := float64(c.TestSize())
 		weighted += accs[ci] * w
@@ -233,16 +304,16 @@ func (s *Server) Run(opt Options) (*Result, error) {
 	if total > 0 {
 		res.TestAcc = weighted / total
 	}
-	return res, nil
+	return nil
 }
 
 // evalGlobal loads the global parameters into every client and returns the
 // test-size-weighted accuracy.
-func (s *Server) evalGlobal(global []float64) float64 {
-	accs := make([]float64, len(s.Clients))
+func evalGlobal(clients []*Client, global []float64) float64 {
+	accs := make([]float64, len(clients))
 	var failed atomic.Bool
 	grp := parallel.NewGroup(parallel.Workers())
-	for ci, c := range s.Clients {
+	for ci, c := range clients {
 		grp.Go(func() error {
 			if failed.Load() {
 				return nil // another client already sank the round; skip the work
@@ -260,7 +331,7 @@ func (s *Server) evalGlobal(global []float64) float64 {
 		return 0
 	}
 	var weighted, total float64
-	for ci, c := range s.Clients {
+	for ci, c := range clients {
 		w := float64(c.TestSize())
 		weighted += accs[ci] * w
 		total += w
@@ -269,6 +340,17 @@ func (s *Server) evalGlobal(global []float64) float64 {
 		return 0
 	}
 	return weighted / total
+}
+
+// Run executes the engine opt selects on a fresh server over clients: the
+// synchronous FedAvg reference by default, the asynchronous staleness-aware
+// engine when opt.Async.Enabled. seed drives participation sampling either
+// way, so the two engines consume server randomness identically.
+func Run(clients []*Client, seed int64, opt Options) (*Result, error) {
+	if opt.Async.Enabled {
+		return NewAsyncServer(clients, seed).Run(opt)
+	}
+	return NewServer(clients, seed).Run(opt)
 }
 
 // BuildClients constructs one client per subgraph with a shared architecture.

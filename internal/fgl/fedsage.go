@@ -45,8 +45,7 @@ func (m *FedSage) Run(subgraphs []*graph.Graph, cfg models.Config, opt federated
 		return nil, err
 	}
 	clients := federated.BuildClients(mended, build, cfg, opt.Seed)
-	srv := federated.NewServer(clients, opt.Seed+1)
-	res, err := srv.Run(opt)
+	res, err := federated.Run(clients, opt.Seed+1, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -45,11 +45,10 @@ func (m FedModel) Run(subgraphs []*graph.Graph, cfg models.Config, opt federated
 		return nil, err
 	}
 	clients := federated.BuildClients(subgraphs, build, cfg, opt.Seed)
-	srv := federated.NewServer(clients, opt.Seed+1)
 	if m.Correction > 0 {
 		opt.LocalCorrection = m.Correction
 	}
-	return srv.Run(opt)
+	return federated.Run(clients, opt.Seed+1, opt)
 }
 
 // Methods returns the baseline set of the paper's main tables for the given
