@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint docs-lint test race cover fuzz bench ci
+.PHONY: all build lint docs-lint test race cover fuzz bench serve-demo ci
 
 all: build
 
@@ -28,10 +28,10 @@ test:
 	$(GO) test ./...
 
 # Race-detector coverage of the concurrent paths (worker pool, federated
-# fan-out, AdaFGL Step-2 fan-out, parallel kernels), matching the CI "race"
-# job.
+# fan-out, AdaFGL Step-2 fan-out, parallel kernels, serving batcher),
+# matching the CI "race" job.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/core/... ./internal/matrix/... ./internal/sparse/...
+	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/core/... ./internal/matrix/... ./internal/sparse/... ./internal/checkpoint/... ./internal/serve/...
 
 # Coverage floor on the numeric kernel packages, matching the CI "coverage"
 # job: internal/matrix + internal/sparse must stay at >= 90% statements.
@@ -42,11 +42,13 @@ cover:
 	awk -v t="$$total" 'BEGIN { exit (t+0 < 90) ? 1 : 0 }' || \
 		{ echo "coverage $$total% below the 90% floor" >&2; exit 1; }
 
-# Bounded fuzz pass over the CSR construction and SpMM equivalence targets,
-# matching the CI "fuzz" job (seed corpora in internal/sparse/testdata/fuzz).
+# Bounded fuzz pass over the CSR construction, SpMM equivalence and
+# checkpoint round-trip targets, matching the CI "fuzz" job (seed corpora in
+# internal/sparse/testdata/fuzz and internal/checkpoint/testdata/fuzz).
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzCSRFromEdges$$' -fuzztime=15s ./internal/sparse
 	$(GO) test -run='^$$' -fuzz='^FuzzSpMMEquivalence$$' -fuzztime=15s ./internal/sparse
+	$(GO) test -run='^$$' -fuzz='^FuzzCheckpointRoundTrip$$' -fuzztime=15s ./internal/checkpoint
 
 # Smoke bench: every benchmark once, output preserved as the BENCH artifact
 # in both raw (bench-smoke.txt) and machine-readable (BENCH_smoke.json, via
@@ -57,5 +59,11 @@ bench:
 	status=$$?; cat bench-smoke.txt; \
 	$(GO) run ./cmd/benchjson -in bench-smoke.txt -out BENCH_smoke.json || status=1; \
 	exit $$status
+
+# Field check of the serving subsystem: train at quickstart scale,
+# checkpoint, rebuild the server from the file and fire 1000 concurrent HTTP
+# queries, each cross-checked bit-for-bit against the in-process API.
+serve-demo:
+	$(GO) run ./examples/serve-demo
 
 ci: build lint docs-lint test race cover fuzz bench

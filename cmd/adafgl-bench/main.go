@@ -39,6 +39,7 @@ func main() {
 		async          = flag.Bool("async", false, "run Step-1 federated training on the asynchronous staleness-aware aggregation engine")
 		asyncK         = flag.Int("async-k", 0, "async commit threshold K: commit a round once K client updates are buffered (0 or >= participants = full synchronous barrier)")
 		asyncStaleness = flag.Float64("async-staleness", 0, "async staleness discount α — an update s rounds stale is weighted α/(1+s) (0 = 1.0, leaving fresh updates undiscounted)")
+		asyncWall      = flag.Bool("async-wall", false, "order async arrivals by real training completion (wall clock) instead of the seeded virtual clock; implies -async; not reproducible")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -86,7 +87,10 @@ func main() {
 	if *seed != 0 {
 		scale.Seed = *seed
 	}
-	scale.Async = federated.AsyncOptions{Enabled: *async, MinUpdates: *asyncK, Staleness: *asyncStaleness}
+	scale.Async = federated.AsyncOptions{Enabled: *async || *asyncWall, MinUpdates: *asyncK, Staleness: *asyncStaleness}
+	if *asyncWall {
+		scale.Async.Clock = federated.NewWallClock()
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {

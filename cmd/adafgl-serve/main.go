@@ -1,0 +1,70 @@
+// Command adafgl-serve serves node-classification queries from a trained
+// AdaFGL model checkpoint over HTTP, batching concurrent requests into
+// plan-reused propagation windows (see internal/serve).
+//
+// Usage:
+//
+//	adafgl-serve -ckpt model.ckpt -addr :8080
+//	adafgl-serve -ckpt model.ckpt -batch 128 -batch-wait 1ms -workers 4
+//
+// Endpoints:
+//
+//	POST /predict      {"nodes":[0,5]} or {"all":true}
+//	GET  /predict?node=3 | /predict?nodes=1,2,3
+//	GET  /predict/all
+//	GET  /healthz
+//	GET  /stats
+//
+// Produce a checkpoint with examples/quickstart -save, or any training run
+// via checkpoint.FromResult.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/parallel"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		ckptPath  = flag.String("ckpt", "", "checkpoint file to serve (required)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		batch     = flag.Int("batch", serve.DefaultMaxBatch, "max queried nodes coalesced per batch window (1 disables batching)")
+		batchWait = flag.Duration("batch-wait", serve.DefaultMaxWait, "max time the first request of a window waits for company (0 = flush as soon as the queue drains)")
+		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
+	)
+	flag.Parse()
+	parallel.SetWorkers(*workers)
+	if *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "missing -ckpt")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ck, err := checkpoint.Load(*ckptPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	srv, err := serve.New(ck, serve.Options{MaxBatch: *batch, MaxWait: *batchWait})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	path := "per-window propagation"
+	if srv.Decoupled() {
+		path = "precomputed-embedding cache"
+	}
+	log.Printf("serving %s over %d nodes / %d classes (%s, loaded in %v)",
+		srv.Arch(), srv.Nodes(), srv.Classes(), path, time.Since(start).Round(time.Millisecond))
+	log.Printf("listening on %s (batch window: %d nodes / %v)", *addr, *batch, *batchWait)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -3,7 +3,8 @@
 // per benchmark with the operation, its parameter string, ns/op, and — for
 // sweeps that carry a path=<kernel> parameter — the speedup against the
 // sibling baseline kernel (path=naive for the GEMM sweep, path=rowstream or
-// path=rebuild for the SpMM sweeps). CI runs it on the smoke-bench output so
+// path=rebuild for the SpMM sweeps, path=single for the serving-batcher
+// sweep). CI runs it on the smoke-bench output so
 // the artifact tracks every engine's speedup over time; `make bench` mirrors
 // it locally.
 //
@@ -45,7 +46,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) 
 
 // baselinePaths are the path= values treated as the reference kernel of
 // their sweep.
-var baselinePaths = map[string]bool{"naive": true, "rowstream": true, "rebuild": true}
+var baselinePaths = map[string]bool{"naive": true, "rowstream": true, "rebuild": true, "single": true}
 
 func main() {
 	in := flag.String("in", "bench-smoke.txt", "go test -bench output to parse")

@@ -5,7 +5,8 @@
 //     ("// Package <name> ..." on some file's package clause).
 //  2. Strict packages (the shared substrate other layers build on:
 //     internal/federated, internal/sparse, internal/matrix,
-//     internal/parallel) must additionally document every exported
+//     internal/parallel, plus the serving surface internal/checkpoint and
+//     internal/serve) must additionally document every exported
 //     top-level identifier — funcs, methods with exported receivers,
 //     types, consts and vars.
 //
@@ -35,10 +36,12 @@ import (
 // strictDirs lists the packages whose exported surface must be fully
 // documented, relative to the repository root.
 var strictDirs = map[string]bool{
-	"internal/federated": true,
-	"internal/sparse":    true,
-	"internal/matrix":    true,
-	"internal/parallel":  true,
+	"internal/federated":  true,
+	"internal/sparse":     true,
+	"internal/matrix":     true,
+	"internal/parallel":   true,
+	"internal/checkpoint": true,
+	"internal/serve":      true,
 }
 
 func main() {

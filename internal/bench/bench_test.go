@@ -91,7 +91,7 @@ func TestTable1Lines(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table3i", "table4", "table5", "table6", "table7", "table8",
-		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "gemm", "spmm", "async"}
+		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "gemm", "spmm", "async", "serve"}
 	for _, id := range want {
 		if _, ok := Experiments[id]; !ok {
 			t.Errorf("experiment %q missing from registry", id)
@@ -147,6 +147,24 @@ func TestAsyncExperiment(t *testing.T) {
 	for _, want := range []string{"sync", "async K=", "staleness"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestServeExperiment(t *testing.T) {
+	s := tinyScale()
+	lines, err := Serve(s) // includes the batched-vs-unbatched bit-identity cross-check
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + (single, batched) per arch in {GCN, SGC}.
+	if len(lines) != 5 {
+		t.Fatalf("Serve lines = %d: %v", len(lines), lines)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"single", "batched", "speedup", "bit-identical ok", "GCN", "SGC"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("serve output missing %q:\n%s", want, joined)
 		}
 	}
 }

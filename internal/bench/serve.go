@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/datasets"
+	"repro/internal/federated"
+	"repro/internal/models"
+	"repro/internal/partition"
+	"repro/internal/serve"
+)
+
+// serveConc is the query concurrency of the serving experiment (the 64-way
+// load of the acceptance scenario).
+const serveConc = 64
+
+// serveQueriesPerWorker is how many single-node queries each concurrent
+// client fires per mode.
+const serveQueriesPerWorker = 16
+
+// Serve regenerates the serving-layer comparison: a model is trained at
+// quickstart scale, checkpointed, and served twice — once with batching
+// disabled (every request is its own propagation window) and once with a
+// 64-node batch window — under 64-way concurrent single-node query load.
+// Reported are queries/sec, p50/p99 latency and the achieved batch size,
+// with the batched predictions cross-checked bit-identical to the unbatched
+// ones. Both engine paths run: GCN (per-window plan-reused propagation,
+// where coalescing pays ~windowfold) and SGC (precomputed-embedding cache,
+// where per-query work is already one dense GEMV).
+func Serve(s Scale) ([]string, error) {
+	factor := s.Factor
+	if factor <= 0 {
+		factor = 0.5 // quickstart scale
+	}
+	lines := []string{
+		fmt.Sprintf("Serving: single-request vs batched inference, %d concurrent clients x %d queries",
+			serveConc, serveQueriesPerWorker),
+	}
+	for _, arch := range []string{"GCN", "SGC"} {
+		ck, err := serveCheckpoint(arch, factor, s)
+		if err != nil {
+			return nil, err
+		}
+		single, singlePreds, err := serveLoad(ck, serve.Options{MaxBatch: 1, Seed: s.Seed})
+		if err != nil {
+			return nil, err
+		}
+		batched, batchedPreds, err := serveLoad(ck, serve.Options{MaxBatch: serveConc, MaxWait: 2 * time.Millisecond, Seed: s.Seed})
+		if err != nil {
+			return nil, err
+		}
+		if err := comparePreds(singlePreds, batchedPreds); err != nil {
+			return nil, fmt.Errorf("bench: serve: %s: %w", arch, err)
+		}
+		lines = append(lines,
+			fmt.Sprintf("%-4s nodes=%d  single : %9.0f q/s  p50=%-8v p99=%-8v batch=%.1f",
+				arch, ck.Graph.N, single.QueriesPerSec, single.P50.Round(time.Microsecond), single.P99.Round(time.Microsecond), single.MeanBatch),
+			fmt.Sprintf("%-4s nodes=%d  batched: %9.0f q/s  p50=%-8v p99=%-8v batch=%.1f  speedup %.1fx  (bit-identical ok)",
+				arch, ck.Graph.N, batched.QueriesPerSec, batched.P50.Round(time.Microsecond), batched.P99.Round(time.Microsecond), batched.MeanBatch,
+				batched.QueriesPerSec/single.QueriesPerSec),
+		)
+	}
+	return lines, nil
+}
+
+// serveCheckpoint trains arch briefly over a community split of a scaled
+// Cora and packages the global model on the full graph.
+func serveCheckpoint(arch string, factor float64, s Scale) (*checkpoint.Checkpoint, error) {
+	spec, err := datasets.ByName("Cora")
+	if err != nil {
+		return nil, err
+	}
+	g := datasets.GenerateScaled(spec, factor, s.Seed)
+	cd := partition.CommunitySplit(g, 5, rand.New(rand.NewSource(s.Seed+101)))
+	cfg := s.cfg()
+	clients := federated.BuildClients(cd.Subgraphs, models.Registry[arch], cfg, s.Seed)
+	opt := s.fedOpts(s.Seed)
+	if opt.Rounds > 10 {
+		opt.Rounds = 10 // training cost is not what this experiment measures
+	}
+	res, err := federated.Run(clients, s.Seed+1, opt)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.FromResult(res, arch, cfg, g)
+}
+
+// serveLoad drives the concurrent query storm against one server config and
+// returns the metrics snapshot plus every prediction keyed by node.
+func serveLoad(ck *checkpoint.Checkpoint, opt serve.Options) (serve.Snapshot, map[int]serve.Prediction, error) {
+	srv, err := serve.New(ck, opt)
+	if err != nil {
+		return serve.Snapshot{}, nil, err
+	}
+	defer srv.Close()
+	preds := make(map[int]serve.Prediction)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, serveConc)
+	for w := 0; w < serveConc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := 0; q < serveQueriesPerWorker; q++ {
+				node := (w*serveQueriesPerWorker + q*131) % srv.Nodes()
+				ps, err := srv.Predict([]int{node})
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				preds[node] = ps[0]
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return serve.Snapshot{}, nil, err
+	}
+	return srv.Stats(), preds, nil
+}
+
+// comparePreds requires bit-identical logits and classes across modes.
+func comparePreds(a, b map[int]serve.Prediction) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("answered node sets differ: %d vs %d", len(a), len(b))
+	}
+	for node, pa := range a {
+		pb, ok := b[node]
+		if !ok {
+			return fmt.Errorf("node %d missing from batched answers", node)
+		}
+		if pa.Class != pb.Class {
+			return fmt.Errorf("node %d class differs: %d vs %d", node, pa.Class, pb.Class)
+		}
+		for j := range pa.Logits {
+			if pa.Logits[j] != pb.Logits[j] {
+				return fmt.Errorf("node %d logit %d differs bitwise: %v vs %v", node, j, pa.Logits[j], pb.Logits[j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/federated"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// trained runs a tiny federation and returns its checkpoint plus the global
+// graph it serves.
+func trained(t testing.TB, arch string, seed int64) (*Checkpoint, *graph.Graph) {
+	t.Helper()
+	spec, err := datasets.ByName("Cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datasets.GenerateScaled(spec, 0.2, seed)
+	cd := partition.CommunitySplit(g, 3, rand.New(rand.NewSource(seed)))
+	cfg := models.DefaultConfig()
+	cfg.Hidden = 8
+	cfg.Dropout = 0
+	clients := federated.BuildClients(cd.Subgraphs, models.Registry[arch], cfg, seed)
+	opt := federated.DefaultOptions()
+	opt.Rounds = 3
+	opt.LocalEpochs = 1
+	res, err := federated.Run(clients, seed+1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := FromResult(res, arch, cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck, g
+}
+
+// TestRoundTripBitIdentical is the core format contract: Encode→Decode→Encode
+// must reproduce the exact bytes, and the decoded checkpoint must preserve
+// every field.
+func TestRoundTripBitIdentical(t *testing.T) {
+	for _, arch := range []string{"GCN", "SGC"} {
+		ck, g := trained(t, arch, 7)
+		enc, err := ck.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", arch, err)
+		}
+		enc2, err := dec.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("%s: re-encode differs: %d vs %d bytes", arch, len(enc), len(enc2))
+		}
+		if dec.Arch != arch || dec.Norm != sparse.NormSym {
+			t.Fatalf("%s: arch/norm drifted: %q %v", arch, dec.Arch, dec.Norm)
+		}
+		if dec.Config != ck.Config {
+			t.Fatalf("%s: config drifted: %+v vs %+v", arch, dec.Config, ck.Config)
+		}
+		for i, v := range ck.Params {
+			if dec.Params[i] != v {
+				t.Fatalf("%s: Params[%d]: %v != %v", arch, i, dec.Params[i], v)
+			}
+		}
+		if dec.Graph.N != g.N || dec.Graph.Classes != g.Classes || len(dec.Graph.Edges) != len(g.Edges) {
+			t.Fatalf("%s: graph shape drifted", arch)
+		}
+		for i, v := range g.X.Data {
+			if dec.Graph.X.Data[i] != v {
+				t.Fatalf("%s: X[%d] drifted", arch, i)
+			}
+		}
+		for i := range g.TrainMask {
+			if dec.Graph.TrainMask[i] != g.TrainMask[i] ||
+				dec.Graph.ValMask[i] != g.ValMask[i] ||
+				dec.Graph.TestMask[i] != g.TestMask[i] {
+				t.Fatalf("%s: masks drifted at %d", arch, i)
+			}
+		}
+		if dec.Adj == nil || dec.Adj.NNZ() != ck.Adj.NNZ() {
+			t.Fatalf("%s: adjacency section lost", arch)
+		}
+	}
+}
+
+// TestSaveLoadFile round-trips through the filesystem and checks Save's
+// output is byte-stable across repeated saves.
+func TestSaveLoadFile(t *testing.T) {
+	ck, _ := trained(t, "GCN", 3)
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.ckpt")
+	p2 := filepath.Join(dir, "b.ckpt")
+	if err := Save(p1, ck); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(p2, loaded); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := ck.Encode()
+	b2, _ := loaded.Encode()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("save→load→save is not bit-identical")
+	}
+}
+
+// TestModelRebuild verifies a loaded checkpoint rebuilds a model whose
+// inference outputs match the original parameters exactly.
+func TestModelRebuild(t *testing.T) {
+	ck, g := trained(t, "GCN", 5)
+	enc, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dec.Model(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nn.Flatten(m)
+	for i, v := range ck.Params {
+		if got[i] != v {
+			t.Fatalf("rebuilt param %d: %v != %v", i, got[i], v)
+		}
+	}
+	// The rebuilt model is bound to the decoded graph, which must behave
+	// like the original: same logits on the same features.
+	orig, err := ck.Model(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, lo := m.Logits(false), orig.Logits(false)
+	if lg.Rows != g.N {
+		t.Fatalf("logits rows %d for %d nodes", lg.Rows, g.N)
+	}
+	for i, v := range lo.Data {
+		if lg.Data[i] != v {
+			t.Fatalf("logits[%d]: rebuilt %v != original %v", i, lg.Data[i], v)
+		}
+	}
+}
+
+// TestFromResultValidation covers the named-op error paths of FromResult.
+func TestFromResultValidation(t *testing.T) {
+	ck, g := trained(t, "GCN", 9)
+	if _, err := FromResult(nil, "GCN", ck.Config, g); err == nil {
+		t.Fatal("nil result must fail")
+	}
+	if _, err := FromResult(&federated.Result{GlobalParams: ck.Params}, "NoSuchArch", ck.Config, g); err == nil {
+		t.Fatal("unknown arch must fail")
+	}
+	if _, err := FromResult(&federated.Result{GlobalParams: ck.Params}, "GCN", ck.Config, nil); err == nil {
+		t.Fatal("nil graph must fail")
+	}
+}
+
+// TestDecodeCorrupt drives every header/section corruption class through
+// Decode and requires a named-op error (prefix "checkpoint:"), never a panic.
+func TestDecodeCorrupt(t *testing.T) {
+	ck, _ := trained(t, "GCN", 13)
+	good, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func() []byte{
+		"empty":     func() []byte { return nil },
+		"short":     func() []byte { return good[:4] },
+		"badmagic":  func() []byte { b := clone(good); b[0] ^= 0xff; return b },
+		"badversio": func() []byte { b := clone(good); b[8] ^= 0xff; return b },
+		"truncated": func() []byte { return good[:len(good)/2] },
+		"flippayl":  func() []byte { b := clone(good); b[len(b)/2] ^= 0x01; return b },
+		"flipcrc":   func() []byte { b := clone(good); b[len(b)-1] ^= 0x01; return b },
+		"trailing":  func() []byte { return append(clone(good), 0xEE) },
+		"headeronly": func() []byte {
+			return append([]byte(Magic), []byte{1, 0, 0, 0, 2, 0, 0, 0}...)
+		},
+	}
+	for name, make := range cases {
+		data := make()
+		c, err := Decode(data)
+		if err == nil {
+			t.Fatalf("%s: Decode accepted corrupt input (got %+v)", name, c)
+		}
+		if got := err.Error(); len(got) < 11 || got[:11] != "checkpoint:" {
+			t.Fatalf("%s: error not named-op: %q", name, got)
+		}
+	}
+}
+
+// TestDecodeHostileHyperparams: a CRC-valid checkpoint whose hyperparameters
+// would make the registry builder allocate enormous matrices (or run 2^31
+// propagation steps) must fail at Decode with a named-op error, before any
+// model construction can panic or OOM.
+func TestDecodeHostileHyperparams(t *testing.T) {
+	for name, mutate := range map[string]func(*Checkpoint){
+		"hidden": func(c *Checkpoint) { c.Config.Hidden = maxHidden + 1 },
+		"hops":   func(c *Checkpoint) { c.Config.Hops = maxHops + 1 },
+		"classes": func(c *Checkpoint) {
+			c.Graph = c.Graph.Clone()
+			c.Graph.Classes = maxHidden + 1
+		},
+	} {
+		ck := miniCheckpoint(1, false)
+		mutate(ck)
+		enc, err := ck.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := Decode(enc); err == nil {
+			t.Fatalf("%s: Decode accepted a hostile value", name)
+		} else if got := err.Error(); got[:11] != "checkpoint:" {
+			t.Fatalf("%s: error not named-op: %q", name, got)
+		}
+	}
+}
+
+// TestModelValidation covers Model's defence against inconsistent artifacts.
+func TestModelValidation(t *testing.T) {
+	ck, _ := trained(t, "GCN", 17)
+	bad := *ck
+	bad.Params = ck.Params[:len(ck.Params)-1]
+	if _, err := bad.Model(1); err == nil {
+		t.Fatal("short params must fail")
+	}
+	bad = *ck
+	bad.Arch = "NoSuchArch"
+	if _, err := bad.Model(1); err == nil {
+		t.Fatal("unknown arch must fail")
+	}
+	bad = *ck
+	bad.Adj = &sparse.CSR{NRows: 1, NCols: 1, RowPtr: []int{0, 0}}
+	if _, err := bad.Model(1); err == nil {
+		t.Fatal("mismatched adjacency must fail")
+	}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }

@@ -32,8 +32,12 @@ type AsyncOptions struct {
 	Staleness float64
 	// Speed is the simulated per-client duration model driving the virtual
 	// clock. Nil runs every client at nominal speed (duration = local epochs
-	// × labeled-node count, no jitter).
+	// × labeled-node count, no jitter). Ignored when Clock is set.
 	Speed *SpeedModel
+	// Clock overrides the duration source. Nil keeps the seeded virtual
+	// clock built from Speed (bit-reproducible simulation); NewWallClock()
+	// orders arrivals by real training completion for deployments.
+	Clock Clock
 }
 
 // SpeedModel deterministically assigns a simulated duration to every local
@@ -98,7 +102,7 @@ type asyncJob struct {
 	client  int     // index into Clients
 	version int     // global model version trained from
 	seq     int     // global dispatch sequence number
-	finish  float64 // virtual arrival time
+	finish  float64 // arrival time on the engine's Clock (virtual units, or wall seconds)
 	weight  float64 // FedAvg data-size weight n_i
 	done    chan struct{}
 	params  []float64
@@ -107,7 +111,8 @@ type asyncJob struct {
 
 // Run executes asynchronous buffered FedAvg for opt.Rounds commits.
 //
-// Scheduling is event-driven on the virtual clock: every dispatched client
+// Scheduling is event-driven on the engine's Clock (the seeded virtual clock
+// by default; NewWallClock for real time): every dispatched client
 // trains concurrently (bounded by parallel.Workers()), but the server
 // harvests arrivals strictly in (virtual finish time, dispatch sequence)
 // order and aggregates each commit's buffer in dispatch order — so the
@@ -135,14 +140,11 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 	if alpha <= 0 {
 		alpha = 1
 	}
-	speed := opt.Async.Speed
-	if speed == nil {
-		speed = &SpeedModel{}
+	clock := opt.Async.Clock
+	if clock == nil {
+		clock = newVirtualClock(opt.Async.Speed)
 	}
-	jitter := make([]*rand.Rand, len(s.Clients))
-	for i := range jitter {
-		jitter[i] = rand.New(rand.NewSource(speed.Seed + 7907*int64(i)))
-	}
+	clock.reset(len(s.Clients))
 
 	global := nn.Flatten(s.Clients[0].Model) // initial broadcast model
 	res := &Result{BytesPerRound: k * dim * 8 * 2}
@@ -164,9 +166,9 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 		}
 		job := &asyncJob{
 			client: ci, version: version, seq: seq, weight: w,
-			finish: now + speed.duration(float64(opt.LocalEpochs)*w, ci, jitter[ci]),
-			done:   make(chan struct{}),
+			done: make(chan struct{}),
 		}
+		clock.stamp(job, float64(opt.LocalEpochs)*w)
 		seq++
 		busy[ci] = true
 		inflight = append(inflight, job)
@@ -174,7 +176,10 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 		// this client is still training on the old one.
 		bcast := append([]float64(nil), global...)
 		grp.Go(func() error {
-			defer close(job.done)
+			defer func() {
+				close(job.done)
+				clock.completed(job)
+			}()
 			if err := nn.Unflatten(c.Model, bcast); err != nil {
 				job.err = fmt.Errorf("federated: broadcast to client %d: %w", c.ID, err)
 				return job.err
@@ -183,21 +188,6 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 			job.params = nn.Flatten(c.Model)
 			return nil
 		})
-	}
-	// harvest removes and returns the in-flight job with the earliest
-	// (finish, seq), blocking until its training completes.
-	harvest := func() *asyncJob {
-		best := 0
-		for i, job := range inflight[1:] {
-			if job.finish < inflight[best].finish ||
-				(job.finish == inflight[best].finish && job.seq < inflight[best].seq) {
-				best = i + 1
-			}
-		}
-		job := inflight[best]
-		inflight = append(inflight[:best], inflight[best+1:]...)
-		<-job.done
-		return job
 	}
 
 	// Initial wave: one participation draw, like the synchronous round head.
@@ -211,7 +201,7 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 	var staleCount int
 	for commit := 0; commit < opt.Rounds; commit++ {
 		for len(buffer) < k {
-			job := harvest()
+			job := clock.harvest(&inflight)
 			if job.err != nil {
 				grp.Wait() // let in-flight clients finish before unwinding
 				return nil, job.err

@@ -131,6 +131,20 @@ func (g *Graph) NormAdjPlan(kind sparse.NormKind) *sparse.Plan {
 	return pl
 }
 
+// SeedNormAdj installs a precomputed normalised adjacency (e.g. loaded from
+// a checkpoint) as the cached Ã for kind, so the first NormAdjPlan call skips
+// the self-loop and normalisation passes. m must be the
+// WithSelfLoops().Normalized(kind) of this graph's adjacency — callers own
+// that guarantee — and is dropped like any cache entry on InvalidateAdj.
+func (g *Graph) SeedNormAdj(kind sparse.NormKind, m *sparse.CSR) {
+	g.adjMu.Lock()
+	defer g.adjMu.Unlock()
+	if g.norm == nil {
+		g.norm = make(map[sparse.NormKind]*sparse.Plan, 1)
+	}
+	g.norm[kind] = sparse.NewPlan(m)
+}
+
 // Neighbors returns the neighbour ids of node v (no self).
 func (g *Graph) Neighbors(v int) []int {
 	cols, _ := g.Adj().Row(v)

@@ -89,13 +89,21 @@ func (m *GAMLP) Params() []*nn.Parameter {
 	return append([]*nn.Parameter{m.gate}, m.mlp.Params()...)
 }
 
+// combine returns the hop combination Σ_k softmax(θ)_k·X^(k) under the
+// current gate values, plus the softmax weights (shared by training forward
+// passes and inference-factor extraction, so the two can never drift).
+func (m *GAMLP) combine() (*matrix.Dense, []float64) {
+	weights := softmaxVec(m.gate.Value.Data)
+	combo := matrix.New(m.g.N, m.g.X.Cols)
+	for k, h := range m.hops {
+		matrix.AddScaled(combo, weights[k], h)
+	}
+	return combo, weights
+}
+
 // Logits implements Model.
 func (m *GAMLP) Logits(train bool) *matrix.Dense {
-	m.weights = softmaxVec(m.gate.Value.Data)
-	m.combo = matrix.New(m.g.N, m.g.X.Cols)
-	for k, h := range m.hops {
-		matrix.AddScaled(m.combo, m.weights[k], h)
-	}
+	m.combo, m.weights = m.combine()
 	m.mlp.SetTraining(train)
 	return m.mlp.Forward(m.combo)
 }

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/models"
+	"repro/internal/parallel"
+)
+
+// request is one in-flight Predict call from enqueue to completion.
+type request struct {
+	nodes []int
+	enq   time.Time
+	preds []Prediction
+	err   error
+	done  chan struct{}
+}
+
+// dispatch is the batching loop: one goroutine owns the model and coalesces
+// queued requests into windows of at most MaxBatch queried nodes, waiting at
+// most MaxWait for a window to fill. Single ownership means the engine never
+// needs a lock around model state, and window boundaries can never change
+// results — every per-node answer is computed by a row-independent kernel.
+func (s *Server) dispatch() {
+	defer close(s.stopped)
+	for {
+		var first *request
+		select {
+		case first = <-s.queue:
+		case <-s.quit:
+			s.failPending()
+			return
+		}
+		batch := []*request{first}
+		n := len(first.nodes)
+		if s.opt.MaxWait > 0 && n < s.opt.MaxBatch {
+			timer := time.NewTimer(s.opt.MaxWait)
+		fill:
+			for n < s.opt.MaxBatch {
+				select {
+				case r := <-s.queue:
+					batch = append(batch, r)
+					n += len(r.nodes)
+				case <-timer.C:
+					break fill
+				case <-s.quit:
+					// Serve what is already collected, then unwind.
+					timer.Stop()
+					s.runBatch(batch)
+					s.failPending()
+					return
+				}
+			}
+			timer.Stop()
+		} else {
+			// Immediate mode: take whatever is already queued, never block.
+		drain:
+			for n < s.opt.MaxBatch {
+				select {
+				case r := <-s.queue:
+					batch = append(batch, r)
+					n += len(r.nodes)
+				default:
+					break drain
+				}
+			}
+		}
+		s.runBatch(batch)
+	}
+}
+
+// failPending drains the queue after Close and fails the callers.
+func (s *Server) failPending() {
+	for {
+		select {
+		case r := <-s.queue:
+			r.err = ErrClosed
+			close(r.done)
+		default:
+			return
+		}
+	}
+}
+
+// runBatch answers one window: a single logits source is produced for the
+// union of queried nodes — the decoupled embedding head on gathered rows, or
+// one full plan-reused propagation — and scattered back per request.
+func (s *Server) runBatch(batch []*request) {
+	var ids []int
+	for _, r := range batch {
+		ids = append(ids, r.nodes...)
+	}
+	rows := s.logitsFor(ids)
+
+	off := 0
+	for _, r := range batch {
+		r.preds = make([]Prediction, len(r.nodes))
+		for i, node := range r.nodes {
+			row := rows.Row(off + i)
+			logits := append([]float64(nil), row...)
+			r.preds[i] = Prediction{Node: node, Class: rowArgmax(row), Logits: logits}
+		}
+		off += len(r.nodes)
+		s.metrics.record(len(r.nodes), time.Since(r.enq))
+		close(r.done)
+	}
+	s.metrics.recordBatch()
+}
+
+// logitsFor computes the class-score rows for ids, in order.
+func (s *Server) logitsFor(ids []int) *matrix.Dense {
+	if s.emb == nil {
+		// Coupled path: one full propagation per window (the plan cached on
+		// the graph is reused across windows), then a row gather.
+		full := s.model.Logits(false)
+		out := matrix.New(len(ids), full.Cols)
+		for i, id := range ids {
+			copy(out.Row(i), full.Row(id))
+		}
+		return out
+	}
+	// Decoupled path: gather cached embedding rows and run the dense head
+	// row-wise. Each output row depends only on its own input row and the
+	// head weights, evaluated in a fixed sequential order — that is what
+	// makes predictions bit-identical across batch compositions and worker
+	// counts.
+	in := matrix.New(len(ids), s.emb.Cols)
+	for i, id := range ids {
+		copy(in.Row(i), s.emb.Row(id))
+	}
+	return applyHead(s.head, in)
+}
+
+// applyHead evaluates the dense head on every row of in: per row, a
+// sequence of GEMVs (out_j = Σ_k in_k·W_kj + b_j) with optional ReLU. Rows
+// fan out over the bounded pool; within a row the accumulation order is
+// fixed, so results never depend on batching or workers.
+func applyHead(head []models.HeadLayer, in *matrix.Dense) *matrix.Dense {
+	cur := in
+	for _, l := range head {
+		out := matrix.New(cur.Rows, l.W.Cols)
+		src, w := cur, l
+		parallel.For(cur.Rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := src.Row(i)
+				orow := out.Row(i)
+				copy(orow, w.Bias)
+				for k, x := range row {
+					wrow := w.W.Row(k)
+					for j, wv := range wrow {
+						orow[j] += x * wv
+					}
+				}
+				if w.ReLU {
+					for j, v := range orow {
+						if v < 0 {
+							orow[j] = 0
+						}
+					}
+				}
+			}
+		})
+		cur = out
+	}
+	return cur
+}
+
+// rowArgmax returns the first index of the row maximum (the tie rule of
+// matrix.ArgmaxRows, applied to one row).
+func rowArgmax(row []float64) int {
+	best := 0
+	for j := 1; j < len(row); j++ {
+		if row[j] > row[best] {
+			best = j
+		}
+	}
+	return best
+}

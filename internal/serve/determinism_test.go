@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// TestServeDeterminism is the serving determinism contract: the same query
+// stream must produce bit-identical predictions for every worker count,
+// batch budget and batch window — including the degenerate single-request
+// server — on both engine paths (coupled GCN, decoupled SGC).
+func TestServeDeterminism(t *testing.T) {
+	defer parallel.SetWorkers(parallel.SetWorkers(0))
+	for _, arch := range []string{"GCN", "SGC"} {
+		ck := trainedCheckpoint(t, arch, 23)
+		queries := make([][]int, 0, 40)
+		for q := 0; q < 40; q++ {
+			queries = append(queries, []int{(q * 13) % ck.Graph.N, (q * 7) % ck.Graph.N})
+		}
+
+		type cfg struct {
+			workers, batch int
+			wait           time.Duration
+		}
+		cfgs := []cfg{
+			{1, 1, 0},
+			{1, 64, time.Millisecond},
+			{4, 1, 0},
+			{4, 16, 0},
+			{4, 64, 2 * time.Millisecond},
+			{8, 256, time.Millisecond},
+		}
+		var want map[string][]float64
+		for _, c := range cfgs {
+			parallel.SetWorkers(c.workers)
+			srv, err := New(ck, Options{MaxBatch: c.batch, MaxWait: c.wait, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s %+v: %v", arch, c, err)
+			}
+			got := make(map[string][]float64)
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for _, q := range queries {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					preds, err := srv.Predict(q)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					defer mu.Unlock()
+					for _, p := range preds {
+						got[fmt.Sprintf("n%d", p.Node)] = p.Logits
+					}
+				}()
+			}
+			wg.Wait()
+			srv.Close()
+			if t.Failed() {
+				t.FailNow()
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s %+v: answered %d nodes, want %d", arch, c, len(got), len(want))
+			}
+			for k, ref := range want {
+				cur := got[k]
+				for j := range ref {
+					if cur[j] != ref[j] {
+						t.Fatalf("%s %+v: %s logit %d: %v != %v (batching changed the bits)",
+							arch, c, k, j, cur[j], ref[j])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// PredictRequest is the JSON body of POST /predict.
+type PredictRequest struct {
+	// Nodes lists the node ids to classify.
+	Nodes []int `json:"nodes"`
+	// All, when true, classifies every node (ignores Nodes) — the
+	// full-graph warm path.
+	All bool `json:"all,omitempty"`
+}
+
+// PredictResponse is the JSON answer of the predict endpoints.
+type PredictResponse struct {
+	// Predictions holds one entry per queried node, in query order.
+	Predictions []Prediction `json:"predictions"`
+}
+
+// errorResponse is the JSON error envelope; Error always carries a named-op
+// message ("serve: ...").
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP surface of the server:
+//
+//	POST /predict      {"nodes":[0,5]} or {"all":true}
+//	GET  /predict?node=3     single node
+//	GET  /predict?nodes=1,2  node set
+//	GET  /predict/all        full-graph warm path
+//	GET  /healthz            liveness + model identity
+//	GET  /stats              latency/throughput snapshot
+//
+// Malformed or truncated input yields HTTP 400 with a named-op error in a
+// JSON envelope — handlers validate before touching the engine, so corrupt
+// requests can never panic the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/predict/all", s.handlePredictAll)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError maps a serving error onto an HTTP status and the JSON envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// parseNodesQuery decodes the node/nodes query parameters of GET /predict.
+func parseNodesQuery(r *http.Request) ([]int, error) {
+	q := r.URL.Query()
+	var raw []string
+	if v := q.Get("node"); v != "" {
+		raw = []string{v}
+	} else if v := q.Get("nodes"); v != "" {
+		raw = strings.Split(v, ",")
+	} else {
+		return nil, fmt.Errorf("serve: predict: missing node or nodes query parameter")
+	}
+	nodes := make([]int, len(raw))
+	for i, s := range raw {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("serve: predict: bad node id %q", s)
+		}
+		nodes[i] = n
+	}
+	return nodes, nil
+}
+
+// handlePredict answers single-node and node-set queries.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var nodes []int
+	switch r.Method {
+	case http.MethodGet:
+		var err error
+		if nodes, err = parseNodesQuery(r); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case http.MethodPost:
+		var req PredictRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: predict: decode request: %w", err))
+			return
+		}
+		if req.All {
+			s.handlePredictAll(w, r)
+			return
+		}
+		nodes = req.Nodes
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: predict: method %s not allowed", r.Method))
+		return
+	}
+	preds, err := s.Predict(nodes)
+	if err != nil {
+		writeError(w, predictStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Predictions: preds})
+}
+
+// handlePredictAll answers the full-graph warm path.
+func (s *Server) handlePredictAll(w http.ResponseWriter, r *http.Request) {
+	preds, err := s.PredictAll()
+	if err != nil {
+		writeError(w, predictStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Predictions: preds})
+}
+
+// predictStatus maps Predict errors to HTTP statuses: a closed server is
+// 503, everything else (validation) is 400.
+func predictStatus(err error) int {
+	if errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// handleHealthz reports liveness and the served model's identity.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"arch":      s.arch,
+		"nodes":     s.g.N,
+		"classes":   s.g.Classes,
+		"decoupled": s.Decoupled(),
+	})
+}
+
+// handleStats reports the metrics snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

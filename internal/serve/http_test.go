@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// httpServer spins up the handler over a trained SGC checkpoint.
+func httpServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	ck := trainedCheckpoint(t, "SGC", 29)
+	srv, err := New(ck, Options{MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+// decode parses a JSON response body into v.
+func decode(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPPredict covers the GET and POST query surfaces against the Go API.
+func TestHTTPPredict(t *testing.T) {
+	srv, ts := httpServer(t)
+	want, err := srv.Predict([]int{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/predict?nodes=1,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PredictResponse
+	decode(t, resp, &got)
+	if len(got.Predictions) != 2 {
+		t.Fatalf("got %d predictions", len(got.Predictions))
+	}
+	for i, p := range got.Predictions {
+		if p.Node != want[i].Node || p.Class != want[i].Class {
+			t.Fatalf("prediction %d drifted over HTTP: %+v vs %+v", i, p, want[i])
+		}
+		for j, v := range want[i].Logits {
+			if p.Logits[j] != v {
+				t.Fatalf("logit %d/%d drifted over HTTP", i, j)
+			}
+		}
+	}
+
+	resp, err = http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"nodes":[1,5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var post PredictResponse
+	decode(t, resp, &post)
+	if len(post.Predictions) != 2 || post.Predictions[0].Class != want[0].Class {
+		t.Fatalf("POST drifted: %+v", post.Predictions)
+	}
+
+	resp, err = http.Get(ts.URL + "/predict/all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all PredictResponse
+	decode(t, resp, &all)
+	if len(all.Predictions) != srv.Nodes() {
+		t.Fatalf("full-graph path returned %d of %d nodes", len(all.Predictions), srv.Nodes())
+	}
+}
+
+// TestHTTPErrors drives malformed and corrupt requests through every
+// endpoint: the server must answer with a named-op ("serve: ...") JSON
+// error and the right status, never panic or hang.
+func TestHTTPErrors(t *testing.T) {
+	_, ts := httpServer(t)
+	cases := []struct {
+		name   string
+		do     func() (*http.Response, error)
+		status int
+	}{
+		{"truncated json", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"nodes":[1,`))
+		}, http.StatusBadRequest},
+		{"not json", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`garbage`))
+		}, http.StatusBadRequest},
+		{"out of range", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/predict?node=99999999")
+		}, http.StatusBadRequest},
+		{"bad id", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/predict?node=abc")
+		}, http.StatusBadRequest},
+		{"missing params", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/predict")
+		}, http.StatusBadRequest},
+		{"empty list", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"nodes":[]}`))
+		}, http.StatusBadRequest},
+		{"bad method", func() (*http.Response, error) {
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/predict", nil)
+			return http.DefaultClient.Do(req)
+		}, http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		resp, err := c.do()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if resp.StatusCode != c.status {
+			t.Fatalf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		decode(t, resp, &e)
+		if !strings.HasPrefix(e.Error, "serve:") {
+			t.Fatalf("%s: error not named-op: %q", c.name, e.Error)
+		}
+	}
+}
+
+// TestHTTPHealthAndStats checks the operational endpoints.
+func TestHTTPHealthAndStats(t *testing.T) {
+	srv, ts := httpServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	decode(t, resp, &hz)
+	if hz["status"] != "ok" || hz["arch"] != "SGC" || hz["decoupled"] != true {
+		t.Fatalf("healthz: %+v", hz)
+	}
+
+	if _, err := srv.Predict([]int{2}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Snapshot
+	decode(t, resp, &st)
+	if st.Requests == 0 || st.Nodes == 0 {
+		t.Fatalf("stats empty after a request: %+v", st)
+	}
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow bounds the latency reservoir: percentiles are computed over the
+// most recent latWindow completed requests.
+const latWindow = 1 << 14
+
+// Metrics accumulates per-request latency and throughput counters for one
+// Server. All methods are safe for concurrent use; tests and callers only
+// see it through Snapshot.
+type Metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	requests uint64
+	nodes    uint64
+	batches  uint64
+	lat      []time.Duration // ring buffer of request latencies
+	latNext  int
+	latFull  bool
+}
+
+// reset starts the metrics epoch.
+func (m *Metrics) reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.start = time.Now()
+	m.requests, m.nodes, m.batches = 0, 0, 0
+	m.lat = make([]time.Duration, 0, 1024)
+	m.latNext, m.latFull = 0, false
+}
+
+// record accounts one completed request of n queried nodes.
+func (m *Metrics) record(n int, lat time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	m.nodes += uint64(n)
+	if m.latFull {
+		m.lat[m.latNext] = lat
+		m.latNext = (m.latNext + 1) % latWindow
+	} else {
+		m.lat = append(m.lat, lat)
+		if len(m.lat) == latWindow {
+			m.latFull = true
+		}
+	}
+}
+
+// recordBatch accounts one executed batch window.
+func (m *Metrics) recordBatch() {
+	m.mu.Lock()
+	m.batches++
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time view of a Server's serving metrics.
+type Snapshot struct {
+	// Requests is the number of completed Predict calls.
+	Requests uint64 `json:"requests"`
+	// Nodes is the total number of node queries answered.
+	Nodes uint64 `json:"nodes"`
+	// Batches is the number of executed batch windows.
+	Batches uint64 `json:"batches"`
+	// MeanBatch is Nodes/Batches — the achieved coalescing factor.
+	MeanBatch float64 `json:"mean_batch"`
+	// P50 and P99 are request-latency percentiles over the recent window.
+	P50 time.Duration `json:"p50_ns"`
+	// P99 is the 99th-percentile request latency.
+	P99 time.Duration `json:"p99_ns"`
+	// Elapsed is the time since the server started.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// QueriesPerSec is Nodes/Elapsed — end-to-end node-query throughput.
+	QueriesPerSec float64 `json:"queries_per_sec"`
+}
+
+// snapshot computes the current Snapshot. The latency window is copied
+// under the lock but sorted outside it: sorting 16K samples must not stall
+// the dispatcher's record() path (and with it every in-flight Predict)
+// while a stats poller computes percentiles.
+func (m *Metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	s := Snapshot{
+		Requests: m.requests, Nodes: m.nodes, Batches: m.batches,
+		Elapsed: time.Since(m.start),
+	}
+	if m.batches > 0 {
+		s.MeanBatch = float64(m.nodes) / float64(m.batches)
+	}
+	if s.Elapsed > 0 {
+		s.QueriesPerSec = float64(m.nodes) / s.Elapsed.Seconds()
+	}
+	sorted := append([]time.Duration(nil), m.lat...)
+	m.mu.Unlock()
+
+	if len(sorted) > 0 {
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.P50 = sorted[len(sorted)/2]
+		s.P99 = sorted[(len(sorted)*99)/100]
+	}
+	return s
+}
