@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint docs-lint test race cover fuzz bench serve-demo ci
+.PHONY: all build lint docs-lint test race cover fuzz bench serve-demo zoo-demo ci
 
 all: build
 
@@ -28,10 +28,10 @@ test:
 	$(GO) test ./...
 
 # Race-detector coverage of the concurrent paths (worker pool, federated
-# fan-out, AdaFGL Step-2 fan-out, parallel kernels, serving batcher),
-# matching the CI "race" job.
+# fan-out, AdaFGL Step-2 fan-out, parallel kernels, serving batcher, model
+# registry swap/acquire), matching the CI "race" job.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/core/... ./internal/matrix/... ./internal/sparse/... ./internal/checkpoint/... ./internal/serve/...
+	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/core/... ./internal/matrix/... ./internal/sparse/... ./internal/checkpoint/... ./internal/serve/... ./internal/registry/...
 
 # Coverage floor on the numeric kernel packages, matching the CI "coverage"
 # job: internal/matrix + internal/sparse must stay at >= 90% statements.
@@ -65,5 +65,12 @@ bench:
 # queries, each cross-checked bit-for-bit against the in-process API.
 serve-demo:
 	$(GO) run ./examples/serve-demo
+
+# Field check of the multi-model registry: train a version line plus AdaFGL,
+# scan the artifacts into the registry, tour the v1 API, hot-swap the active
+# version under concurrent load (bit-exact answers enforced) and run a live
+# baseline-vs-AdaFGL A/B split.
+zoo-demo:
+	$(GO) run ./examples/model-zoo
 
 ci: build lint docs-lint test race cover fuzz bench

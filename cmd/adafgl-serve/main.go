@@ -1,70 +1,131 @@
-// Command adafgl-serve serves node-classification queries from a trained
-// AdaFGL model checkpoint over HTTP, batching concurrent requests into
-// plan-reused propagation windows (see internal/serve).
+// Command adafgl-serve serves node-classification queries from trained
+// AdaFGL model checkpoints over HTTP. It fronts a model registry
+// (internal/registry): one or many checkpoint artifacts keyed by
+// name@version, each lazily started as a batching inference server
+// (internal/serve) under an LRU bound, with zero-downtime version swaps and
+// an A/B traffic splitter.
 //
 // Usage:
 //
 //	adafgl-serve -ckpt model.ckpt -addr :8080
-//	adafgl-serve -ckpt model.ckpt -batch 128 -batch-wait 1ms -workers 4
+//	adafgl-serve -model-dir zoo/ -default-model adafgl
+//	adafgl-serve -model-dir zoo/ -batch 128 -batch-wait 1ms -max-loaded 2
 //
-// Endpoints:
+// -ckpt registers a single artifact (filename stem "name@3.ckpt" carries the
+// name and version; a bare stem is version 1). -model-dir scans a directory
+// of *.ckpt artifacts. Both may be combined.
 //
-//	POST /predict      {"nodes":[0,5]} or {"all":true}
-//	GET  /predict?node=3 | /predict?nodes=1,2,3
-//	GET  /predict/all
-//	GET  /healthz
-//	GET  /stats
+// Endpoints (see internal/registry for the full contract):
 //
-// Produce a checkpoint with examples/quickstart -save, or any training run
-// via checkpoint.FromResult.
+//	GET  /v1/models                      registered artifacts + metadata
+//	GET  /v1/models/{model}/predict      ?node=3 | ?nodes=1,2,3
+//	POST /v1/models/{model}/predict      {"nodes":[...]} or {"all":true}
+//	GET  /v1/models/{model}/predict/all
+//	GET  /v1/models/{model}/stats        per-version counters + live snapshot
+//	POST /v1/models/{model}/swap         {"version":2} zero-downtime swap
+//	POST /v1/ab                          {"control":...,"candidate":...,"fraction":0.5}
+//	GET  /v1/ab/report                   online accuracy/latency per arm
+//	GET  /v1/healthz                     fleet liveness
+//
+//	/predict, /predict/all, /healthz, /stats — deprecated aliases onto the
+//	default model (Deprecation + Link headers point at the v1 successors).
+//
+// On SIGINT/SIGTERM the listener stops accepting, in-flight HTTP requests
+// get a grace period, and every model's batch queue is drained before exit —
+// no admitted query is dropped.
+//
+// Produce checkpoints with examples/quickstart -save or examples/model-zoo,
+// or any training run via checkpoint.FromResult.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"repro/internal/checkpoint"
 	"repro/internal/parallel"
+	"repro/internal/registry"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		ckptPath  = flag.String("ckpt", "", "checkpoint file to serve (required)")
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		batch     = flag.Int("batch", serve.DefaultMaxBatch, "max queried nodes coalesced per batch window (1 disables batching)")
-		batchWait = flag.Duration("batch-wait", serve.DefaultMaxWait, "max time the first request of a window waits for company (0 = flush as soon as the queue drains)")
-		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
+		ckptPath     = flag.String("ckpt", "", "single checkpoint file to register (stem \"name@3.ckpt\" sets name and version)")
+		modelDir     = flag.String("model-dir", "", "directory of *.ckpt artifacts to register")
+		defaultModel = flag.String("default-model", "", "model answering the legacy flat routes (default: the sole registered name)")
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		batch        = flag.Int("batch", serve.DefaultMaxBatch, "max queried nodes coalesced per batch window (1 disables batching)")
+		batchWait    = flag.Duration("batch-wait", serve.DefaultMaxWait, "max time the first request of a window waits for company (0 = flush as soon as the queue drains)")
+		workers      = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
+		maxLoaded    = flag.Int("max-loaded", registry.DefaultMaxLoaded, "max concurrently started model servers (LRU drains idle ones)")
+		grace        = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP requests")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
-	if *ckptPath == "" {
-		fmt.Fprintln(os.Stderr, "missing -ckpt")
+	if *ckptPath == "" && *modelDir == "" {
+		fmt.Fprintln(os.Stderr, "missing -ckpt or -model-dir")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	ck, err := checkpoint.Load(*ckptPath)
-	if err != nil {
-		log.Fatal(err)
-	}
+	reg := registry.New(registry.Options{
+		Serve:        serve.Options{MaxBatch: *batch, MaxWait: *batchWait},
+		MaxLoaded:    *maxLoaded,
+		DefaultModel: *defaultModel,
+	})
 	start := time.Now()
-	srv, err := serve.New(ck, serve.Options{MaxBatch: *batch, MaxWait: *batchWait})
-	if err != nil {
-		log.Fatal(err)
+	if *modelDir != "" {
+		if _, err := reg.LoadDir(*modelDir); err != nil {
+			log.Fatal(err)
+		}
 	}
-	defer srv.Close()
+	if *ckptPath != "" {
+		if _, err := reg.AddFile(*ckptPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	infos := reg.List()
+	for _, info := range infos {
+		active := " "
+		if info.Active {
+			active = "*"
+		}
+		log.Printf("%s %s@%d  %-5s %d nodes / %d classes / %d params (%s)",
+			active, info.Name, info.Version, info.Arch, info.Nodes, info.Classes,
+			info.Params, info.Path)
+	}
+	log.Printf("registered %d artifacts in %v (max %d loaded, batch window: %d nodes / %v)",
+		len(infos), time.Since(start).Round(time.Millisecond), *maxLoaded, *batch, *batchWait)
 
-	path := "per-window propagation"
-	if srv.Decoupled() {
-		path = "precomputed-embedding cache"
+	httpSrv := &http.Server{Addr: *addr, Handler: reg.Handler()}
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
 	}
-	log.Printf("serving %s over %d nodes / %d classes (%s, loaded in %v)",
-		srv.Arch(), srv.Nodes(), srv.Classes(), path, time.Since(start).Round(time.Millisecond))
-	log.Printf("listening on %s (batch window: %d nodes / %v)", *addr, *batch, *batchWait)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	// Graceful shutdown: stop accepting, give in-flight HTTP requests a
+	// deadline, then drain every model's batch queue via the registry.
+	log.Printf("shutting down (grace %v)", *grace)
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), *grace)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	reg.Close()
+	log.Printf("drained; bye")
 }

@@ -4,7 +4,8 @@
 // sweeps that carry a path=<kernel> parameter — the speedup against the
 // sibling baseline kernel (path=naive for the GEMM sweep, path=rowstream or
 // path=rebuild for the SpMM sweeps, path=single for the serving-batcher
-// sweep). CI runs it on the smoke-bench output so
+// sweep, path=direct for the registry-routing sweep). CI runs it on the
+// smoke-bench output so
 // the artifact tracks every engine's speedup over time; `make bench` mirrors
 // it locally.
 //
@@ -46,7 +47,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) 
 
 // baselinePaths are the path= values treated as the reference kernel of
 // their sweep.
-var baselinePaths = map[string]bool{"naive": true, "rowstream": true, "rebuild": true, "single": true}
+var baselinePaths = map[string]bool{"naive": true, "rowstream": true, "rebuild": true, "single": true, "direct": true}
 
 func main() {
 	in := flag.String("in", "bench-smoke.txt", "go test -bench output to parse")

@@ -5,8 +5,9 @@
 //     ("// Package <name> ..." on some file's package clause).
 //  2. Strict packages (the shared substrate other layers build on:
 //     internal/federated, internal/sparse, internal/matrix,
-//     internal/parallel, plus the serving surface internal/checkpoint and
-//     internal/serve) must additionally document every exported
+//     internal/parallel, plus the serving surface internal/checkpoint,
+//     internal/serve and internal/registry) must additionally document
+//     every exported
 //     top-level identifier — funcs, methods with exported receivers,
 //     types, consts and vars.
 //
@@ -42,6 +43,7 @@ var strictDirs = map[string]bool{
 	"internal/parallel":   true,
 	"internal/checkpoint": true,
 	"internal/serve":      true,
+	"internal/registry":   true,
 }
 
 func main() {

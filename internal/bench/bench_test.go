@@ -91,7 +91,7 @@ func TestTable1Lines(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table3i", "table4", "table5", "table6", "table7", "table8",
-		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "gemm", "spmm", "async", "serve"}
+		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "gemm", "spmm", "async", "serve", "zoo"}
 	for _, id := range want {
 		if _, ok := Experiments[id]; !ok {
 			t.Errorf("experiment %q missing from registry", id)
@@ -165,6 +165,25 @@ func TestServeExperiment(t *testing.T) {
 	for _, want := range []string{"single", "batched", "speedup", "bit-identical ok", "GCN", "SGC"} {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("serve output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestZooExperiment(t *testing.T) {
+	s := tinyScale()
+	lines, err := Zoo(s) // includes routed-vs-direct bit-identity and the overhead bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + roster + routing line + A/B header + 2 arms + delta.
+	if len(lines) != 7 {
+		t.Fatalf("Zoo lines = %d: %v", len(lines), lines)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"3 artifacts", "fedgcn@1:GCN", "fedsgc@1:SGC", "adafgl@1:GCN",
+		"routing", "overhead", "bit-identical ok", "A/B", "control", "candidate", "delta"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("zoo output missing %q:\n%s", want, joined)
 		}
 	}
 }

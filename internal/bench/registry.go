@@ -35,6 +35,7 @@ var Experiments = map[string]Experiment{
 	"spmm":    {"spmm", "Micro: row-streamed vs blocked SpMM speedup (plan reuse included)", SpMM},
 	"async":   {"async", "Micro: sync vs async aggregation under client-speed skew", Async},
 	"serve":   {"serve", "Micro: single-request vs batched inference serving", Serve},
+	"zoo":     {"zoo", "Micro: multi-model registry serving, routing overhead + live A/B", Zoo},
 }
 
 // IDs returns the experiment ids sorted.

@@ -1,0 +1,87 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPeekMatchesLoad checks the cheap header view agrees with a full load
+// on every metadata field, for both a coupled artifact (with cached
+// adjacency) and one stripped of it.
+func TestPeekMatchesLoad(t *testing.T) {
+	ck, g := trained(t, "GCN", 5)
+	dir := t.TempDir()
+
+	noAdj := *ck
+	noAdj.Adj = nil
+	for _, c := range []struct {
+		name string
+		ck   *Checkpoint
+	}{
+		{"with-adj", ck},
+		{"no-adj", &noAdj},
+	} {
+		path := filepath.Join(dir, c.name+".ckpt")
+		if err := Save(path, c.ck); err != nil {
+			t.Fatal(err)
+		}
+		h, err := Peek(path)
+		if err != nil {
+			t.Fatalf("%s: Peek: %v", c.name, err)
+		}
+		if h.Arch != c.ck.Arch || h.Norm != c.ck.Norm || h.Config != c.ck.Config {
+			t.Fatalf("%s: header model fields drifted: %+v", c.name, h)
+		}
+		if h.Params != len(c.ck.Params) {
+			t.Fatalf("%s: param count %d, want %d", c.name, h.Params, len(c.ck.Params))
+		}
+		if h.Nodes != g.N || h.Classes != g.Classes || h.Edges != len(g.Edges) {
+			t.Fatalf("%s: graph dims %d/%d/%d, want %d/%d/%d",
+				c.name, h.Nodes, h.Classes, h.Edges, g.N, g.Classes, len(g.Edges))
+		}
+		if h.HasAdj != (c.ck.Adj != nil) {
+			t.Fatalf("%s: HasAdj = %v", c.name, h.HasAdj)
+		}
+		fi, _ := os.Stat(path)
+		if h.Bytes != fi.Size() {
+			t.Fatalf("%s: Bytes = %d, want %d", c.name, h.Bytes, fi.Size())
+		}
+	}
+}
+
+// TestPeekCorrupt drives truncated and corrupt files through Peek: every
+// case must yield a named-op error, never a panic.
+func TestPeekCorrupt(t *testing.T) {
+	ck, _ := trained(t, "SGC", 9)
+	data, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cases := map[string][]byte{
+		"empty":           {},
+		"short-magic":     data[:4],
+		"bad-magic":       append([]byte("NOTACKPT"), data[8:]...),
+		"header-only":     data[:16],
+		"truncated-model": data[:40],
+		"truncated-tail":  data[:len(data)-8],
+	}
+	for name, b := range cases {
+		if _, err := Peek(write(name, b)); err == nil {
+			t.Errorf("%s: Peek accepted corrupt input", name)
+		}
+	}
+	if _, err := Peek(filepath.Join(dir, "does-not-exist.ckpt")); err == nil {
+		t.Error("Peek accepted a missing file")
+	}
+}

@@ -1,0 +1,85 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// BenchmarkZooRouting prices the registry's routing layer: 64 concurrent
+// single-node queries answered by a directly held serve.Server (path=direct,
+// the baseline benchjson divides by) versus the same queries routed through
+// Registry.Predict with its acquire/stats/A-B machinery (path=routed), with
+// and without an active A/B split. ns/op covers one full 64-query wave; the
+// routed/direct ratio is the fleet-routing overhead the zoo experiment
+// asserts stays under 10%.
+func BenchmarkZooRouting(b *testing.B) {
+	const conc = 64
+	dir := zooDir(b, "base@1", "ada@1")
+	opt := Options{Serve: serve.Options{MaxBatch: conc, MaxWait: 2 * time.Millisecond, Seed: 1}}
+
+	wave := func(b *testing.B, predict func(q int) error) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for q := 0; q < conc; q++ {
+				wg.Add(1)
+				go func(q int) {
+					defer wg.Done()
+					if err := predict(q); err != nil {
+						b.Error(err)
+					}
+				}(q)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		if el := b.Elapsed().Seconds(); el > 0 {
+			b.ReportMetric(float64(conc*b.N)/el, "queries/s")
+		}
+	}
+
+	for _, mode := range []struct {
+		path string
+		ab   bool
+	}{
+		{"direct", false},
+		{"routed", false},
+		{"routed-ab", true},
+	} {
+		b.Run(fmt.Sprintf("conc=%d/path=%s", conc, mode.path), func(b *testing.B) {
+			r := New(opt)
+			defer r.Close()
+			if _, err := r.LoadDir(dir); err != nil {
+				b.Fatal(err)
+			}
+			if mode.ab {
+				if err := r.ConfigureAB(ABConfig{Control: "base", Candidate: "ada", Fraction: 0.5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			h, err := r.Acquire("base")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Release()
+			nodes := h.Server().Nodes()
+			if mode.path == "direct" {
+				srv := h.Server()
+				wave(b, func(q int) error {
+					_, err := srv.Predict([]int{(q * 17) % nodes})
+					return err
+				})
+				return
+			}
+			wave(b, func(q int) error {
+				_, err := r.Predict("base", []int{(q * 17) % nodes})
+				return err
+			})
+		})
+	}
+}

@@ -1,0 +1,272 @@
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// legacyRefKey carries the default-model reference into handlers reached
+// through a deprecated flat alias (no {model} path segment).
+type legacyRefKey struct{}
+
+// legacy wraps a v1 handler as a deprecated flat alias: the default model is
+// resolved, Deprecation and Link (successor-version) headers are stamped,
+// and the reference travels to the handler via the request context.
+func (r *Registry) legacy(successorSuffix string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		ref, err := r.DefaultRef()
+		if err != nil {
+			serve.WriteError(w, statusFor(err), "registry.default", err)
+			return
+		}
+		w.Header().Set("Deprecation", "true")
+		successor := "/v1/healthz"
+		if successorSuffix != "" {
+			successor = fmt.Sprintf("/v1/models/%s%s", ref, successorSuffix)
+		}
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		next(w, req.WithContext(context.WithValue(req.Context(), legacyRefKey{}, ref)))
+	}
+}
+
+// modelRef extracts the model reference of a request: the {model} path
+// segment on v1 routes, the default model on legacy aliases.
+func modelRef(req *http.Request) string {
+	if ref := req.PathValue("model"); ref != "" {
+		return ref
+	}
+	ref, _ := req.Context().Value(legacyRefKey{}).(string)
+	return ref
+}
+
+// statusFor maps registry and serving errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrInUse):
+		return http.StatusConflict
+	case errors.Is(err, ErrRegistryClosed), errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// requireMethod writes the envelope 405 unless the request uses one of the
+// allowed methods.
+func requireMethod(w http.ResponseWriter, req *http.Request, op string, methods ...string) bool {
+	for _, m := range methods {
+		if req.Method == m {
+			return true
+		}
+	}
+	serve.WriteError(w, http.StatusMethodNotAllowed, op,
+		fmt.Errorf("registry: %s: method %s not allowed", op, req.Method))
+	return false
+}
+
+// handleList answers GET /v1/models with every artifact's metadata.
+func (r *Registry) handleList(w http.ResponseWriter, req *http.Request) {
+	if !requireMethod(w, req, "registry.models", http.MethodGet) {
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, map[string]any{"models": r.List()})
+}
+
+// handlePredict answers single-node and node-set queries on one model,
+// routing through the A/B splitter when the target is the control.
+func (r *Registry) handlePredict(w http.ResponseWriter, req *http.Request) {
+	ref := modelRef(req)
+	var nodes []int
+	switch req.Method {
+	case http.MethodGet:
+		var err error
+		if nodes, err = serve.ParseNodesQuery(req); err != nil {
+			serve.WriteError(w, http.StatusBadRequest, "registry.predict", err)
+			return
+		}
+	case http.MethodPost:
+		body, err := serve.DecodePredictBody(w, req)
+		if err != nil {
+			serve.WriteError(w, http.StatusBadRequest, "registry.predict", err)
+			return
+		}
+		if body.All {
+			r.handlePredictAll(w, req)
+			return
+		}
+		nodes = body.Nodes
+	default:
+		requireMethod(w, req, "registry.predict", http.MethodGet, http.MethodPost)
+		return
+	}
+	preds, err := r.Predict(ref, nodes)
+	if err != nil {
+		serve.WriteError(w, statusFor(err), "registry.predict", err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, serve.PredictResponse{Predictions: preds})
+}
+
+// handlePredictAll answers the full-graph warm path on one model.
+func (r *Registry) handlePredictAll(w http.ResponseWriter, req *http.Request) {
+	ref := modelRef(req)
+	h, err := r.Acquire(ref)
+	if err != nil {
+		serve.WriteError(w, statusFor(err), "registry.predict", err)
+		return
+	}
+	n := h.Server().Nodes()
+	h.Release()
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	preds, err := r.Predict(ref, nodes)
+	if err != nil {
+		serve.WriteError(w, statusFor(err), "registry.predict", err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, serve.PredictResponse{Predictions: preds})
+}
+
+// handleStats answers GET /v1/models/{model}/stats with the per-version
+// counters and the active server's live snapshot.
+func (r *Registry) handleStats(w http.ResponseWriter, req *http.Request) {
+	if !requireMethod(w, req, "registry.stats", http.MethodGet) {
+		return
+	}
+	name, _, err := ParseRef(modelRef(req))
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "registry.stats", err)
+		return
+	}
+	st, err := r.Stats(name)
+	if err != nil {
+		serve.WriteError(w, statusFor(err), "registry.stats", err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, st)
+}
+
+// handleModelStatsSnapshot answers the legacy /stats alias with the default
+// model's live serve.Snapshot — byte-compatible with the old single-model
+// endpoint.
+func (r *Registry) handleModelStatsSnapshot(w http.ResponseWriter, req *http.Request) {
+	h, err := r.Acquire(modelRef(req))
+	if err != nil {
+		serve.WriteError(w, statusFor(err), "registry.stats", err)
+		return
+	}
+	defer h.Release()
+	serve.WriteJSON(w, http.StatusOK, h.Server().Stats())
+}
+
+// swapRequest is the JSON body of POST /v1/models/{model}/swap.
+type swapRequest struct {
+	Version int `json:"version"`
+}
+
+// handleSwap answers POST /v1/models/{model}/swap: zero-downtime activation
+// of another registered version.
+func (r *Registry) handleSwap(w http.ResponseWriter, req *http.Request) {
+	if !requireMethod(w, req, "registry.swap", http.MethodPost) {
+		return
+	}
+	name, _, err := ParseRef(modelRef(req))
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "registry.swap", err)
+		return
+	}
+	var body swapRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<16)).Decode(&body); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "registry.swap",
+			fmt.Errorf("registry: swap: decode request: %w", err))
+		return
+	}
+	prev, err := r.Swap(name, body.Version)
+	if err != nil {
+		serve.WriteError(w, statusFor(err), "registry.swap", err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, map[string]any{
+		"name": name, "from": prev, "to": body.Version,
+	})
+}
+
+// handleAB answers POST /v1/ab: install, replace or (with an empty config)
+// disable the A/B experiment.
+func (r *Registry) handleAB(w http.ResponseWriter, req *http.Request) {
+	if !requireMethod(w, req, "registry.ab", http.MethodPost) {
+		return
+	}
+	var cfg ABConfig
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<16)).Decode(&cfg); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "registry.ab",
+			fmt.Errorf("registry: ab: decode request: %w", err))
+		return
+	}
+	if err := r.ConfigureAB(cfg); err != nil {
+		serve.WriteError(w, statusFor(err), "registry.ab", err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, map[string]any{"configured": cfg.Control != "", "config": cfg})
+}
+
+// handleABReport answers GET /v1/ab/report with the live per-arm comparison.
+func (r *Registry) handleABReport(w http.ResponseWriter, req *http.Request) {
+	if !requireMethod(w, req, "registry.ab", http.MethodGet) {
+		return
+	}
+	rep, err := r.ABReportNow()
+	if err != nil {
+		serve.WriteError(w, statusFor(err), "registry.ab", err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, rep)
+}
+
+// handleFleetHealthz answers GET /v1/healthz with fleet-level liveness.
+func (r *Registry) handleFleetHealthz(w http.ResponseWriter, req *http.Request) {
+	if !requireMethod(w, req, "registry.healthz", http.MethodGet) {
+		return
+	}
+	r.mu.Lock()
+	names, versions := len(r.models), 0
+	for _, m := range r.models {
+		versions += len(m.versions)
+	}
+	loaded := r.loaded
+	r.mu.Unlock()
+	serve.WriteJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "models": names, "versions": versions, "loaded": loaded,
+	})
+}
+
+// handleHealthz answers the legacy /healthz alias with the old single-model
+// shape (status/arch/nodes/classes/decoupled) for the default model, plus
+// the resolved model reference.
+func (r *Registry) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	ref := modelRef(req)
+	h, err := r.Acquire(ref)
+	if err != nil {
+		serve.WriteError(w, statusFor(err), "registry.healthz", err)
+		return
+	}
+	defer h.Release()
+	s := h.Server()
+	serve.WriteJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"arch":      s.Arch(),
+		"nodes":     s.Nodes(),
+		"classes":   s.Classes(),
+		"decoupled": s.Decoupled(),
+		"model":     Ref(h.Name(), h.Version()),
+	})
+}

@@ -1,0 +1,48 @@
+package registry
+
+import (
+	"net/http"
+)
+
+// Handler returns the multi-model HTTP surface of the registry — the
+// versioned v1 API plus deprecated aliases for the flat single-model routes:
+//
+//	GET  /v1/models                      list artifacts + metadata
+//	GET  /v1/models/{model}/predict      ?node=3 | ?nodes=1,2 ({model} is
+//	                                     "name" or "name@version")
+//	POST /v1/models/{model}/predict      {"nodes":[...]} or {"all":true}
+//	GET  /v1/models/{model}/predict/all  full-graph warm path
+//	GET  /v1/models/{model}/stats        per-version counters + live snapshot
+//	POST /v1/models/{model}/swap         {"version":N} zero-downtime swap
+//	POST /v1/ab                          configure the A/B splitter
+//	GET  /v1/ab/report                   online accuracy/latency per arm
+//	GET  /v1/healthz                     fleet liveness + model count
+//
+//	/predict, /predict/all, /healthz, /stats   deprecated aliases onto the
+//	default model; they answer exactly like the old single-model API and
+//	carry Deprecation plus Link (successor-version) headers.
+//
+// Every error, on every route including the aliases, is the structured JSON
+// envelope {"error":{"op","code","msg"}} (serve.ErrorEnvelope). Handlers
+// validate before touching the engine; unknown models are 404, a closed
+// registry or server 503, conflicting mutations 409.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	// Method routing happens inside the handlers so that wrong-method
+	// requests still answer with the shared error envelope (the mux's
+	// built-in 405 writes text/plain).
+	mux.HandleFunc("/v1/models", r.handleList)
+	mux.HandleFunc("/v1/models/{model}/predict", r.handlePredict)
+	mux.HandleFunc("/v1/models/{model}/predict/all", r.handlePredictAll)
+	mux.HandleFunc("/v1/models/{model}/stats", r.handleStats)
+	mux.HandleFunc("/v1/models/{model}/swap", r.handleSwap)
+	mux.HandleFunc("/v1/ab", r.handleAB)
+	mux.HandleFunc("/v1/ab/report", r.handleABReport)
+	mux.HandleFunc("/v1/healthz", r.handleFleetHealthz)
+	// Deprecated flat aliases onto the default model.
+	mux.HandleFunc("/predict", r.legacy("/predict", r.handlePredict))
+	mux.HandleFunc("/predict/all", r.legacy("/predict", r.handlePredictAll))
+	mux.HandleFunc("/healthz", r.legacy("", r.handleHealthz))
+	mux.HandleFunc("/stats", r.legacy("/stats", r.handleModelStatsSnapshot))
+	return mux
+}

@@ -1,0 +1,178 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// statsWindow bounds the per-model latency reservoir: percentiles cover the
+// most recent statsWindow requests of that model.
+const statsWindow = 1 << 12
+
+// modelStats accumulates the per-model (name@version) serving counters that
+// survive swaps and server restarts: request/node totals, online accuracy
+// against the serving graph's labels, and a recent-latency reservoir.
+// Guarded by Registry.mu.
+type modelStats struct {
+	requests, nodes   uint64
+	labelled, correct uint64
+	lat               []time.Duration
+	latNext           int
+	latFull           bool
+	totalLat          time.Duration
+}
+
+// record accounts one completed predict of n nodes, of which labelled
+// carried ground-truth labels and correct were classified right.
+func (s *modelStats) record(n, labelled, correct int, lat time.Duration) {
+	s.requests++
+	s.nodes += uint64(n)
+	s.labelled += uint64(labelled)
+	s.correct += uint64(correct)
+	s.totalLat += lat
+	if s.latFull {
+		s.lat[s.latNext] = lat
+		s.latNext = (s.latNext + 1) % statsWindow
+	} else {
+		s.lat = append(s.lat, lat)
+		if len(s.lat) == statsWindow {
+			s.latFull = true
+		}
+	}
+}
+
+// ArmStats is the JSON view of one model's cumulative serving counters —
+// the per-model half of the v1 stats endpoint and one arm of an A/B report.
+type ArmStats struct {
+	// Requests and Nodes are completed predict calls and node queries.
+	Requests uint64 `json:"requests"`
+	Nodes    uint64 `json:"nodes"`
+	// Labelled and Correct count queried nodes with ground-truth labels and
+	// those classified correctly; Accuracy is their ratio (the online
+	// accuracy of the paper's live comparison).
+	Labelled uint64  `json:"labelled"`
+	Correct  uint64  `json:"correct"`
+	Accuracy float64 `json:"accuracy"`
+	// MeanLat, P50 and P99 summarise per-request latency (P50/P99 over the
+	// recent window).
+	MeanLat time.Duration `json:"mean_lat_ns"`
+	P50     time.Duration `json:"p50_ns"`
+	P99     time.Duration `json:"p99_ns"`
+}
+
+// view renders the counters; Registry.mu must be held.
+func (s *modelStats) view() ArmStats {
+	a := ArmStats{
+		Requests: s.requests, Nodes: s.nodes,
+		Labelled: s.labelled, Correct: s.correct,
+	}
+	if s.labelled > 0 {
+		a.Accuracy = float64(s.correct) / float64(s.labelled)
+	}
+	if s.requests > 0 {
+		a.MeanLat = s.totalLat / time.Duration(s.requests)
+	}
+	if len(s.lat) > 0 {
+		sorted := append([]time.Duration(nil), s.lat...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		a.P50 = sorted[len(sorted)/2]
+		a.P99 = sorted[(len(sorted)*99)/100]
+	}
+	return a
+}
+
+// ModelStats is the full v1 stats payload for one model name: the active
+// version, cumulative per-version counters, and the live snapshot of the
+// active serving instance when started.
+type ModelStats struct {
+	// Name is the model line; ActiveVersion the version answering bare-name
+	// requests.
+	Name          string `json:"name"`
+	ActiveVersion int    `json:"active_version"`
+	// Versions maps "version" to that artifact's cumulative counters.
+	Versions map[string]ArmStats `json:"versions"`
+	// Server, when non-nil, is the active instance's live batching snapshot.
+	Server *serve.Snapshot `json:"server,omitempty"`
+}
+
+// Stats assembles the v1 stats payload for name.
+func (r *Registry) Stats(name string) (*ModelStats, error) {
+	r.mu.Lock()
+	m := r.models[name]
+	if m == nil {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("registry: Stats: unknown model %q: %w", name, ErrNotFound)
+	}
+	st := &ModelStats{Name: name, ActiveVersion: m.active, Versions: make(map[string]ArmStats, len(m.versions))}
+	var activeSrv *serve.Server
+	for v, e := range m.versions {
+		st.Versions[fmt.Sprintf("%d", v)] = e.stats.view()
+		if v == m.active {
+			activeSrv = e.srv
+		}
+	}
+	r.mu.Unlock()
+	if activeSrv != nil {
+		snap := activeSrv.Stats()
+		st.Server = &snap
+	}
+	return st, nil
+}
+
+// Predict routes one prediction through the registry: ref's model is
+// acquired (starting it if needed), queried, and its per-model counters
+// updated — including online accuracy for labelled nodes. When the A/B
+// splitter is configured and ref resolves to the control model's active
+// version, the request is split between control and candidate by the
+// deterministic per-node hash instead.
+func (r *Registry) Predict(ref string, nodes []int) ([]serve.Prediction, error) {
+	name, version, err := ParseRef(ref)
+	if err != nil {
+		return nil, fmt.Errorf("registry: Predict: %w", err)
+	}
+	if version == 0 {
+		if cfg, ok := r.ABActive(); ok && name == cfg.Control {
+			return r.predictAB(cfg, nodes)
+		}
+	}
+	preds, _, _, _, err := r.predictOn(name, version, nodes)
+	return preds, err
+}
+
+// predictOn answers nodes on name@version (0 = active), recording the
+// model's counters, and reports the scoring and latency so A/B arm
+// accounting can reuse them without re-acquiring the model.
+func (r *Registry) predictOn(name string, version int, nodes []int) (preds []serve.Prediction, labelled, correct int, lat time.Duration, err error) {
+	h, err := r.acquire(name, version)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	defer h.Release()
+	start := time.Now()
+	preds, err = h.Server().Predict(nodes)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	lat = time.Since(start)
+	labelled, correct = scorePreds(h.Server(), preds)
+	r.mu.Lock()
+	h.e.stats.record(len(nodes), labelled, correct, lat)
+	r.mu.Unlock()
+	return preds, labelled, correct, lat, nil
+}
+
+// scorePreds counts labelled nodes and correct classifications among preds.
+func scorePreds(s *serve.Server, preds []serve.Prediction) (labelled, correct int) {
+	for _, p := range preds {
+		if want, ok := s.Label(p.Node); ok {
+			labelled++
+			if p.Class == want {
+				correct++
+			}
+		}
+	}
+	return labelled, correct
+}

@@ -1,0 +1,162 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// refPreds computes the in-process reference answer for every node of ck's
+// graph on a directly constructed server — the ground truth a routed
+// prediction must match bitwise.
+func refPreds(t *testing.T, dir, name string) []serve.Prediction {
+	t.Helper()
+	r := New(Options{Serve: serve.Options{MaxBatch: 1, Seed: 1}})
+	defer r.Close()
+	if _, err := r.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	nodes := make([]int, h.Server().Nodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	preds, err := h.Server().Predict(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return preds
+}
+
+// samePred reports bitwise prediction equality.
+func samePred(a, b serve.Prediction) bool {
+	if a.Node != b.Node || a.Class != b.Class || len(a.Logits) != len(b.Logits) {
+		return false
+	}
+	for i := range a.Logits {
+		if a.Logits[i] != b.Logits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSwapUnderLoad is the zero-downtime contract: 64 goroutines hammer
+// /v1/models/m/predict over HTTP while the main goroutine swaps the active
+// version back and forth several times. Every request must answer 200, and
+// every prediction must be bit-identical to one of the two versions'
+// in-process reference answers — a response mixing versions, or hitting a
+// torn-down server, fails.
+func TestSwapUnderLoad(t *testing.T) {
+	dir := zooDir(t, "m@1", "m@2")
+	ref1 := refPreds(t, dir, "m@1")
+	ref2 := refPreds(t, dir, "m@2")
+	// The two versions were trained with different seeds; make sure the test
+	// can actually tell them apart.
+	distinct := false
+	for i := range ref1 {
+		if !samePred(ref1[i], ref2[i]) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("v1 and v2 predict identically; test cannot distinguish versions")
+	}
+
+	r := New(Options{Serve: serve.Options{MaxBatch: 8, MaxWait: 200 * time.Microsecond, Seed: 1}})
+	defer r.Close()
+	if _, err := r.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	const goroutines = 64
+	const perG = 40
+	nodes := len(ref1)
+	var bad atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	fail := func(format string, args ...any) {
+		bad.Add(1)
+		firstErr.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for q := 0; q < perG; q++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				node := rng.Intn(nodes)
+				resp, err := http.Get(fmt.Sprintf("%s/v1/models/m/predict?node=%d", ts.URL, node))
+				if err != nil {
+					fail("g%d q%d: %v", g, q, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail("g%d q%d: status %d: %s", g, q, resp.StatusCode, body)
+					return
+				}
+				var pr serve.PredictResponse
+				if err := json.Unmarshal(body, &pr); err != nil || len(pr.Predictions) != 1 {
+					fail("g%d q%d: bad body %s", g, q, body)
+					return
+				}
+				p := pr.Predictions[0]
+				if !samePred(p, ref1[node]) && !samePred(p, ref2[node]) {
+					fail("g%d q%d node %d: prediction matches neither version: %+v", g, q, node, p)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Swap back and forth through the HTTP surface while the storm runs.
+	swaps := 0
+	for i := 0; i < 6; i++ {
+		to := 2 - i%2 // 2,1,2,1,2,1
+		body, _ := json.Marshal(map[string]int{"version": to})
+		resp, err := http.Post(ts.URL+"/v1/models/m/swap", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("swap %d: status %d", i, resp.StatusCode)
+		}
+		swaps++
+		time.Sleep(2 * time.Millisecond) // let load land on the new version
+	}
+	close(stop)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d bad responses during %d swaps; first: %s", n, swaps, firstErr.Load())
+	}
+	if swaps < 5 {
+		t.Fatalf("only %d swaps executed", swaps)
+	}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDrainAnswersAdmitted checks the graceful-retirement contract: every
+// Predict admitted before Drain is answered (never failed), every Predict
+// after Drain fails fast with ErrClosed, and Drain itself returns only once
+// the dispatcher has exited.
+func TestDrainAnswersAdmitted(t *testing.T) {
+	ck := trainedCheckpoint(t, "SGC", 17)
+	srv, err := New(ck, Options{MaxBatch: 8, MaxWait: time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 32
+	var answered, failed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := 0; q < 20; q++ {
+				_, err := srv.Predict([]int{(c*20 + q) % srv.Nodes()})
+				switch {
+				case err == nil:
+					answered.Add(1)
+				case errors.Is(err, ErrClosed):
+					failed.Add(1)
+					return // drained: stop querying
+				default:
+					t.Errorf("unexpected predict error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // let some queries through first
+	srv.Drain()
+	wg.Wait()
+
+	if answered.Load() == 0 {
+		t.Fatal("no queries answered before drain")
+	}
+	// After Drain returns, the server is closed: Predict must fail fast.
+	if _, err := srv.Predict([]int{0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Predict after Drain = %v, want ErrClosed", err)
+	}
+	// Idempotent, including interleaved with Close.
+	srv.Drain()
+	srv.Close()
+}

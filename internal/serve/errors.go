@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// APIError is the structured JSON error body shared by every HTTP handler of
+// the serving surface — the single envelope of the v1 API, the single-model
+// Handler, and the legacy aliases. Op names the failing operation
+// ("serve.predict", "registry.swap", ...), Code is a machine-routable
+// category derived from the HTTP status, and Msg carries the full named-op
+// error text.
+type APIError struct {
+	// Op is the dotted name of the operation that failed.
+	Op string `json:"op"`
+	// Code is the machine-readable error category ("bad_request",
+	// "not_found", "conflict", "method_not_allowed", "unavailable",
+	// "internal").
+	Code string `json:"code"`
+	// Msg is the human-readable named-op error message.
+	Msg string `json:"msg"`
+}
+
+// ErrorEnvelope is the top-level JSON shape of every HTTP error response:
+// {"error":{"op":...,"code":...,"msg":...}}.
+type ErrorEnvelope struct {
+	// Error is the structured error body.
+	Error APIError `json:"error"`
+}
+
+// CodeForStatus maps an HTTP status onto the envelope's machine-readable
+// error code.
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
+// WriteJSON writes v as the JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// WriteError writes err as the structured JSON error envelope with the given
+// status, stamping op and the status-derived code.
+func WriteError(w http.ResponseWriter, status int, op string, err error) {
+	WriteJSON(w, status, ErrorEnvelope{Error: APIError{
+		Op: op, Code: CodeForStatus(status), Msg: err.Error(),
+	}})
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// PredictRequest is the JSON body of the POST predict endpoints (both the
+// legacy /predict and the v1 /v1/models/{name}/predict routes).
+type PredictRequest struct {
+	// Nodes lists the node ids to classify.
+	Nodes []int `json:"nodes"`
+	// All, when true, classifies every node (ignores Nodes) — the
+	// full-graph warm path.
+	All bool `json:"all,omitempty"`
+}
+
+// PredictResponse is the JSON answer of the predict endpoints.
+type PredictResponse struct {
+	// Predictions holds one entry per queried node, in query order.
+	Predictions []Prediction `json:"predictions"`
+}
+
+// ParseNodesQuery decodes the node/nodes query parameters of a GET predict
+// request; shared by the single-model handlers and the registry's v1 API.
+func ParseNodesQuery(r *http.Request) ([]int, error) {
+	q := r.URL.Query()
+	var raw []string
+	if v := q.Get("node"); v != "" {
+		raw = []string{v}
+	} else if v := q.Get("nodes"); v != "" {
+		raw = strings.Split(v, ",")
+	} else {
+		return nil, fmt.Errorf("serve: predict: missing node or nodes query parameter")
+	}
+	nodes := make([]int, len(raw))
+	for i, s := range raw {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("serve: predict: bad node id %q", s)
+		}
+		nodes[i] = n
+	}
+	return nodes, nil
+}
+
+// DecodePredictBody decodes the JSON body of a POST predict request with a
+// size cap, so oversized or truncated bodies fail with a named-op error
+// before any engine work.
+func DecodePredictBody(w http.ResponseWriter, r *http.Request) (PredictRequest, error) {
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("serve: predict: decode request: %w", err)
+	}
+	return req, nil
+}
+
+// handlePredict answers single-node and node-set queries.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var nodes []int
+	switch r.Method {
+	case http.MethodGet:
+		var err error
+		if nodes, err = ParseNodesQuery(r); err != nil {
+			WriteError(w, http.StatusBadRequest, "serve.predict", err)
+			return
+		}
+	case http.MethodPost:
+		req, err := DecodePredictBody(w, r)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, "serve.predict", err)
+			return
+		}
+		if req.All {
+			s.handlePredictAll(w, r)
+			return
+		}
+		nodes = req.Nodes
+	default:
+		WriteError(w, http.StatusMethodNotAllowed, "serve.predict",
+			fmt.Errorf("serve: predict: method %s not allowed", r.Method))
+		return
+	}
+	preds, err := s.Predict(nodes)
+	if err != nil {
+		WriteError(w, PredictStatus(err), "serve.predict", err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, PredictResponse{Predictions: preds})
+}
+
+// handlePredictAll answers the full-graph warm path.
+func (s *Server) handlePredictAll(w http.ResponseWriter, r *http.Request) {
+	preds, err := s.PredictAll()
+	if err != nil {
+		WriteError(w, PredictStatus(err), "serve.predict", err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, PredictResponse{Predictions: preds})
+}
+
+// PredictStatus maps Predict errors to HTTP statuses: a closed or draining
+// server is 503, everything else (validation) is 400.
+func PredictStatus(err error) int {
+	if errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// handleHealthz reports liveness and the served model's identity.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"arch":      s.arch,
+		"nodes":     s.g.N,
+		"classes":   s.g.Classes,
+		"decoupled": s.Decoupled(),
+	})
+}
+
+// handleStats reports the metrics snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, s.Stats())
+}

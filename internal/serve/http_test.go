@@ -120,12 +120,13 @@ func TestHTTPErrors(t *testing.T) {
 		if resp.StatusCode != c.status {
 			t.Fatalf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
+		var e ErrorEnvelope
 		decode(t, resp, &e)
-		if !strings.HasPrefix(e.Error, "serve:") {
-			t.Fatalf("%s: error not named-op: %q", c.name, e.Error)
+		if !strings.HasPrefix(e.Error.Msg, "serve:") {
+			t.Fatalf("%s: error msg not named-op: %q", c.name, e.Error.Msg)
+		}
+		if e.Error.Op == "" || e.Error.Code != CodeForStatus(c.status) {
+			t.Fatalf("%s: envelope op/code wrong: %+v", c.name, e.Error)
 		}
 	}
 }

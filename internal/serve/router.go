@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"net/http"
+)
+
+// Handler returns the single-model HTTP surface of the server:
+//
+//	POST /predict      {"nodes":[0,5]} or {"all":true}
+//	GET  /predict?node=3     single node
+//	GET  /predict?nodes=1,2  node set
+//	GET  /predict/all        full-graph warm path
+//	GET  /healthz            liveness + model identity
+//	GET  /stats              latency/throughput snapshot
+//
+// Malformed or truncated input yields HTTP 400 with a structured error
+// envelope ({"error":{"op","code","msg"}}, see ErrorEnvelope) — handlers
+// validate before touching the engine, so corrupt requests can never panic
+// the server. The multi-model v1 API (/v1/models/{name}/...) is the
+// registry package's Handler, which routes onto servers like this one.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/predict/all", s.handlePredictAll)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}

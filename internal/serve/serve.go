@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -80,6 +81,12 @@ type Server struct {
 	stopped chan struct{}
 	once    sync.Once
 
+	// draining gates new Predict admissions during Drain; inflight counts
+	// admitted Predict calls that have not returned yet, so Drain knows when
+	// every accepted request has been answered.
+	draining atomic.Bool
+	inflight atomic.Int64
+
 	metrics Metrics
 }
 
@@ -140,6 +147,15 @@ func (s *Server) Predict(nodes []int) ([]Prediction, error) {
 			return nil, fmt.Errorf("serve: Predict: node %d outside graph of %d nodes", v, s.g.N)
 		}
 	}
+	// Admission control for Drain: the inflight increment must precede the
+	// draining check (both are sequentially consistent atomics), so Drain —
+	// which stores draining before polling inflight — either turns this call
+	// away here or observes its inflight count and waits for its answer.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.draining.Load() {
+		return nil, ErrClosed
+	}
 	req := &request{
 		nodes: append([]int(nil), nodes...),
 		enq:   time.Now(),
@@ -176,6 +192,31 @@ func (s *Server) PredictAll() ([]Prediction, error) {
 
 // Stats returns a snapshot of the server's latency/throughput metrics.
 func (s *Server) Stats() Snapshot { return s.metrics.snapshot() }
+
+// Label returns node's ground-truth class and whether the serving graph
+// carries a label for it. The registry layer uses it for online-accuracy
+// accounting (per-model stats, A/B reports) without reaching into the graph.
+func (s *Server) Label(node int) (int, bool) {
+	if s.g.Labels == nil || node < 0 || node >= len(s.g.Labels) {
+		return 0, false
+	}
+	return s.g.Labels[node], true
+}
+
+// Drain gracefully retires the server: new Predict calls are turned away
+// with ErrClosed immediately, every already-admitted call is answered by the
+// dispatcher as usual, and only then is the batcher stopped. Safe to call
+// more than once and concurrently with Close; blocks until the dispatcher
+// has exited. This is what lets a registry swap checkpoints with zero
+// dropped requests: in-flight batch windows finish on the old model while
+// new requests route to the new one.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	for s.inflight.Load() != 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	s.Close()
+}
 
 // Close stops the dispatcher and fails queued and future Predict calls.
 // Safe to call more than once; blocks until the dispatcher has exited.
