@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint docs-lint test race cover fuzz bench serve-demo zoo-demo ci
+.PHONY: all build lint docs-lint test race cover fuzz bench serve-demo zoo-demo chaos-demo ci
 
 all: build
 
@@ -28,27 +28,30 @@ test:
 	$(GO) test ./...
 
 # Race-detector coverage of the concurrent paths (worker pool, federated
-# fan-out, AdaFGL Step-2 fan-out, parallel kernels, serving batcher, model
-# registry swap/acquire), matching the CI "race" job.
+# fan-out incl. fault injection, chaos scenarios, AdaFGL Step-2 fan-out,
+# parallel kernels, serving batcher, model registry swap/acquire), matching
+# the CI "race" job.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/core/... ./internal/matrix/... ./internal/sparse/... ./internal/checkpoint/... ./internal/serve/... ./internal/registry/...
+	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/scenario/... ./internal/core/... ./internal/matrix/... ./internal/sparse/... ./internal/checkpoint/... ./internal/serve/... ./internal/registry/...
 
-# Coverage floor on the numeric kernel packages, matching the CI "coverage"
-# job: internal/matrix + internal/sparse must stay at >= 90% statements.
+# Coverage floor on the numeric kernel and federation packages, matching the
+# CI "coverage" job: internal/matrix + internal/sparse + internal/federated +
+# internal/scenario must stay at >= 90% statements.
 cover:
-	@$(GO) test -coverprofile=cover.out ./internal/matrix ./internal/sparse
+	@$(GO) test -coverprofile=cover.out ./internal/matrix ./internal/sparse ./internal/federated ./internal/scenario
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 	echo "kernel coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 < 90) ? 1 : 0 }' || \
 		{ echo "coverage $$total% below the 90% floor" >&2; exit 1; }
 
-# Bounded fuzz pass over the CSR construction, SpMM equivalence and
-# checkpoint round-trip targets, matching the CI "fuzz" job (seed corpora in
-# internal/sparse/testdata/fuzz and internal/checkpoint/testdata/fuzz).
+# Bounded fuzz pass over the CSR construction, SpMM equivalence, checkpoint
+# round-trip and chaos scenario-spec targets, matching the CI "fuzz" job
+# (seed corpora in the packages' testdata/fuzz directories).
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzCSRFromEdges$$' -fuzztime=15s ./internal/sparse
 	$(GO) test -run='^$$' -fuzz='^FuzzSpMMEquivalence$$' -fuzztime=15s ./internal/sparse
 	$(GO) test -run='^$$' -fuzz='^FuzzCheckpointRoundTrip$$' -fuzztime=15s ./internal/checkpoint
+	$(GO) test -run='^$$' -fuzz='^FuzzScenarioConfig$$' -fuzztime=15s ./internal/scenario
 
 # Smoke bench: every benchmark once, output preserved as the BENCH artifact
 # in both raw (bench-smoke.txt) and machine-readable (BENCH_smoke.json, via
@@ -72,5 +75,11 @@ serve-demo:
 # baseline-vs-AdaFGL A/B split.
 zoo-demo:
 	$(GO) run ./examples/model-zoo
+
+# Field check of the fault-injection layer: one failure scenario from the
+# chaos registry run with AdaFGL and a FedGCN reference, under FedAvg and a
+# robust aggregator, against the fault-free baseline.
+chaos-demo:
+	$(GO) run ./examples/chaos
 
 ci: build lint docs-lint test race cover fuzz bench

@@ -6,6 +6,8 @@
 //	adafgl-bench -list
 //	adafgl-bench -exp table2 -factor 0.3 -rounds 30 -runs 3
 //	adafgl-bench -exp all -paper        # full protocol (slow on one CPU)
+//	adafgl-bench -exp chaos             # failure scenarios x robust aggregators
+//	adafgl-bench -exp table2 -robust median -clip 0.5
 package main
 
 import (
@@ -40,6 +42,12 @@ func main() {
 		asyncK         = flag.Int("async-k", 0, "async commit threshold K: commit a round once K client updates are buffered (0 or >= participants = full synchronous barrier)")
 		asyncStaleness = flag.Float64("async-staleness", 0, "async staleness discount α — an update s rounds stale is weighted α/(1+s) (0 = 1.0, leaving fresh updates undiscounted)")
 		asyncWall      = flag.Bool("async-wall", false, "order async arrivals by real training completion (wall clock) instead of the seeded virtual clock; implies -async; not reproducible")
+
+		robust    = flag.String("robust", "", "Step-1 robust aggregator: fedavg (default), median, or trim")
+		trimFrac  = flag.Float64("trim-frac", 0.2, "trimmed-mean fraction dropped per side when -robust trim (in [0, 0.5))")
+		clip      = flag.Float64("clip", 0, "L2 update-norm clipping bound applied to every client update before aggregation (0 = off)")
+		dpNoise   = flag.Float64("dp-noise", 0, "seeded Gaussian noise stddev added to the committed global each round (0 = off)")
+		noiseSeed = flag.Int64("dp-noise-seed", 0, "noise stream seed (0 = derived from the run seed)")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -90,6 +98,15 @@ func main() {
 	scale.Async = federated.AsyncOptions{Enabled: *async || *asyncWall, MinUpdates: *asyncK, Staleness: *asyncStaleness}
 	if *asyncWall {
 		scale.Async.Clock = federated.NewWallClock()
+	}
+	agg, err := federated.ParseAggregator(*robust)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scale.Robust = federated.RobustOptions{Aggregator: agg, ClipNorm: *clip, NoiseStd: *dpNoise, NoiseSeed: *noiseSeed}
+	if agg == federated.AggTrimmedMean {
+		scale.Robust.TrimFrac = *trimFrac
 	}
 
 	ids := []string{*exp}

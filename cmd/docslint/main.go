@@ -38,6 +38,7 @@ import (
 // documented, relative to the repository root.
 var strictDirs = map[string]bool{
 	"internal/federated":  true,
+	"internal/scenario":   true,
 	"internal/sparse":     true,
 	"internal/matrix":     true,
 	"internal/parallel":   true,

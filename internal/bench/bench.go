@@ -46,6 +46,11 @@ type Scale struct {
 	// (wired to the -async/-async-k/-async-staleness flags of
 	// cmd/adafgl-bench); the zero value keeps the synchronous reference.
 	Async federated.AsyncOptions
+	// Robust configures Step-1 robust aggregation for every experiment
+	// (wired to the -robust/-trim-frac/-clip/-dp-noise flags of
+	// cmd/adafgl-bench); the zero value keeps exact FedAvg. The chaos
+	// experiment owns its aggregator sweep and ignores this field.
+	Robust federated.RobustOptions
 }
 
 // DefaultScale is the smoke scale used by tests and testing.B benches.
@@ -71,6 +76,7 @@ func (s Scale) fedOpts(seed int64) federated.Options {
 	o.LocalEpochs = s.LocalEpochs
 	o.Seed = seed
 	o.Async = s.Async
+	o.Robust = s.Robust
 	return o
 }
 

@@ -91,7 +91,7 @@ func TestTable1Lines(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table3i", "table4", "table5", "table6", "table7", "table8",
-		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "gemm", "spmm", "async", "serve", "zoo"}
+		"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "gemm", "spmm", "async", "chaos", "serve", "zoo"}
 	for _, id := range want {
 		if _, ok := Experiments[id]; !ok {
 			t.Errorf("experiment %q missing from registry", id)
@@ -236,5 +236,35 @@ func TestSplitKindString(t *testing.T) {
 	}
 	if SplitKind(99).String() != "?" {
 		t.Fatal("unknown kind must render ?")
+	}
+}
+
+func TestChaosExperiment(t *testing.T) {
+	s := tinyScale()
+	lines, err := Chaos(s)
+	if err != nil { // includes the steady-scenario bit-identity cross-checks
+		t.Fatal(err)
+	}
+	// Title + cross-check + header + 6 scenarios x 4 aggregators + headline.
+	if len(lines) != 3+6*4+1 {
+		t.Fatalf("Chaos lines = %d, want %d:\n%s", len(lines), 3+6*4+1, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[1], "cross-check passed") {
+		t.Fatalf("cross-check line = %q", lines[1])
+	}
+	for _, scen := range []string{"steady", "churn", "crashrejoin", "byz-labelflip", "byz-signflip", "byz-scale"} {
+		found := false
+		for _, l := range lines {
+			if strings.HasPrefix(l, scen) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no table row for scenario %s", scen)
+		}
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "headline:") {
+		t.Fatalf("missing degradation headline, last line %q", lines[len(lines)-1])
 	}
 }

@@ -34,6 +34,7 @@ var Experiments = map[string]Experiment{
 	"gemm":    {"gemm", "Micro: naive vs blocked dense GEMM speedup", GEMM},
 	"spmm":    {"spmm", "Micro: row-streamed vs blocked SpMM speedup (plan reuse included)", SpMM},
 	"async":   {"async", "Micro: sync vs async aggregation under client-speed skew", Async},
+	"chaos":   {"chaos", "Chaos: failure scenarios x robust aggregators, AdaFGL vs FGL baseline", Chaos},
 	"serve":   {"serve", "Micro: single-request vs batched inference serving", Serve},
 	"zoo":     {"zoo", "Micro: multi-model registry serving, routing overhead + live A/B", Zoo},
 }

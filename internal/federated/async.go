@@ -38,6 +38,11 @@ type AsyncOptions struct {
 	// clock built from Speed (bit-reproducible simulation); NewWallClock()
 	// orders arrivals by real training completion for deployments.
 	Clock Clock
+	// Faults is the fault-injection schedule: per-client crash, leave,
+	// join and corrupt events ordered by the virtual clock. The zero value
+	// injects nothing and keeps the engine's historical code path exactly;
+	// a non-empty schedule requires the virtual clock.
+	Faults Faults
 }
 
 // SpeedModel deterministically assigns a simulated duration to every local
@@ -106,6 +111,8 @@ type asyncJob struct {
 	weight  float64 // FedAvg data-size weight n_i
 	done    chan struct{}
 	params  []float64
+	base    []float64 // the broadcast snapshot trained from (clip reference)
+	lost    bool      // client crashed mid-flight: discard at harvest
 	err     error
 }
 
@@ -126,10 +133,36 @@ type asyncJob struct {
 // given. Round accuracies are evaluated after the schedule finishes
 // (evaluation is RNG-free, so the curve matches the synchronous engine's
 // interleaved evaluation bit for bit).
+//
+// A non-empty opt.Async.Faults schedule overlays crash/leave/join/corrupt
+// events on the same virtual timeline: events at time T apply before
+// arrivals stamped at T, crashed clients lose their in-flight update and
+// later rejoin from the stale broadcast they last received (their first
+// post-rejoin update paying the staleness discount), left clients stop
+// being re-dispatched, and corrupted clients rewrite their uploads with the
+// installed Attack. When a fault leaves fewer than K arrivals reachable the
+// commit degrades to what is actually achievable, and a run whose fleet
+// dies entirely ends early with the rounds committed so far. Faulted runs
+// remain bit-reproducible for any worker count; opt.Robust's clipping,
+// alternative aggregators and seeded noise apply to both engines.
 func (s *AsyncServer) Run(opt Options) (*Result, error) {
 	dim, err := checkClients(s.Clients)
 	if err != nil {
 		return nil, err
+	}
+	if err := opt.Robust.validate(); err != nil {
+		return nil, err
+	}
+	var ft *faultRun
+	if !opt.Async.Faults.Empty() {
+		if opt.Async.Clock != nil {
+			if _, ok := opt.Async.Clock.(*virtualClock); !ok {
+				return nil, fmt.Errorf("federated: faults: a fault schedule requires the virtual clock")
+			}
+		}
+		if ft, err = newFaultRun(opt.Async.Faults, len(s.Clients)); err != nil {
+			return nil, err
+		}
 	}
 	nPart := participantCount(len(s.Clients), opt.Participation)
 	k := opt.Async.MinUpdates
@@ -148,6 +181,7 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 
 	global := nn.Flatten(s.Clients[0].Model) // initial broadcast model
 	res := &Result{BytesPerRound: k * dim * 8 * 2}
+	noise := newNoiseStream(opt)
 
 	var (
 		grp      = parallel.NewGroup(parallel.Workers())
@@ -157,7 +191,16 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 		now      float64
 		version  int
 		seq      int
+		// Per-client stale-resume state, used only under faults: the
+		// broadcast (and its version) each client last received, so a
+		// crashed client rejoins from the parameters it actually holds.
+		lastBcast [][]float64
+		lastVer   []int
 	)
+	if ft != nil {
+		lastBcast = make([][]float64, len(s.Clients))
+		lastVer = make([]int, len(s.Clients))
+	}
 	dispatch := func(ci int) {
 		c := s.Clients[ci]
 		w := float64(c.TrainSize())
@@ -175,6 +218,21 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 		// Snapshot the broadcast: the server may commit new globals while
 		// this client is still training on the old one.
 		bcast := append([]float64(nil), global...)
+		var atk Attack
+		if ft != nil {
+			if ft.stale[ci] && lastBcast[ci] != nil {
+				// Post-crash rejoin: resume from the stale broadcast the
+				// client last received; the old version makes its next
+				// update pay the staleness discount naturally.
+				bcast = lastBcast[ci]
+				job.version = lastVer[ci]
+			}
+			ft.stale[ci] = false
+			lastBcast[ci] = bcast
+			lastVer[ci] = job.version
+			atk = ft.attack[ci]
+		}
+		job.base = bcast
 		grp.Go(func() error {
 			defer func() {
 				close(job.done)
@@ -185,14 +243,27 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 				return job.err
 			}
 			c.TrainLocal(opt.LocalEpochs)
-			job.params = nn.Flatten(c.Model)
+			params := nn.Flatten(c.Model)
+			if atk.Kind != AttackNone {
+				params = atk.apply(bcast, params)
+			}
+			job.params = params
 			return nil
 		})
 	}
 
 	// Initial wave: one participation draw, like the synchronous round head.
+	// Time-zero fault events (corrupt-from-start, down-at-start joins)
+	// apply before anything is dispatched.
+	if ft != nil {
+		ft.process(0, nil)
+	}
 	perm := s.rng.Perm(len(s.Clients))
-	for _, ci := range perm[:nPart] {
+	sampled := perm[:nPart]
+	for _, ci := range sampled {
+		if ft != nil && ft.down[ci] {
+			continue
+		}
 		dispatch(ci)
 	}
 
@@ -200,7 +271,37 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 	var staleSum float64
 	var staleCount int
 	for commit := 0; commit < opt.Rounds; commit++ {
+		fleetDead := false
 		for len(buffer) < k {
+			if ft != nil {
+				if len(inflight) == 0 {
+					// No arrival can happen. Commit whatever the faults let
+					// arrive; with an empty buffer, idle forward to the next
+					// scheduled event (a join may revive the fleet) or — out
+					// of events — end the run early.
+					if len(buffer) > 0 {
+						break
+					}
+					if ft.next < len(ft.events) {
+						now = ft.events[ft.next].Time
+						clock.(*virtualClock).advance(now)
+						ft.process(now, inflight)
+						for _, ci := range sampled {
+							if !busy[ci] && !ft.down[ci] {
+								dispatch(ci)
+							}
+						}
+						continue
+					}
+					fleetDead = true
+					break
+				}
+				// Apply every event up to the next arrival before
+				// harvesting it: a crash scheduled first loses that update.
+				// Lost jobs stay in flight until harvested here, so their
+				// clients free up for post-rejoin dispatch deterministically.
+				ft.process(peekNextFinish(inflight), inflight)
+			}
 			job := clock.harvest(&inflight)
 			if job.err != nil {
 				grp.Wait() // let in-flight clients finish before unwinding
@@ -208,14 +309,22 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 			}
 			now = job.finish
 			busy[job.client] = false
+			if job.lost {
+				res.DroppedUpdates++
+				res.DroppedWeight += job.weight
+				continue
+			}
 			buffer = append(buffer, job)
+		}
+		if fleetDead {
+			break
 		}
 		// Commit: aggregate the buffer in dispatch order (not arrival
 		// order), so when the buffer spans one synchronous wave the
 		// summation order — and hence the float result — matches Server.Run.
 		sort.Slice(buffer, func(i, j int) bool { return buffer[i].seq < buffer[j].seq })
-		agg := make([]float64, dim)
-		var totalW float64
+		updates := make([][]float64, 0, len(buffer)+1)
+		weights := make([]float64, 0, len(buffer)+1)
 		for _, u := range buffer {
 			w := u.weight
 			staleness := version - u.version
@@ -224,30 +333,35 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 			}
 			staleSum += float64(staleness)
 			staleCount++
-			for i, v := range u.params {
-				agg[i] += w * v
+			if opt.Robust.ClipNorm > 0 {
+				if n := clipDelta(u.params, u.base, opt.Robust.ClipNorm); n > res.MaxUpdateNorm {
+					res.MaxUpdateNorm = n
+				}
 			}
-			totalW += w
+			updates = append(updates, u.params)
+			weights = append(weights, w)
 		}
 		// Clients still training anchor the aggregate with their data mass
 		// through the current global (their last incorporated state), so a
 		// small buffer cannot yank the model toward one client. When every
 		// participant has arrived (K = N) the anchor weight is zero and the
-		// commit reduces to the exact synchronous weighted mean.
+		// commit reduces to the exact synchronous weighted mean. The anchor
+		// joins as a pseudo-update so every aggregator treats it uniformly;
+		// under FedAvg the arithmetic is exactly the historical inline loop.
 		var anchorW float64
 		for _, u := range inflight {
-			anchorW += u.weight
+			if !u.lost {
+				anchorW += u.weight
+			}
 		}
 		if anchorW > 0 {
-			for i := range agg {
-				agg[i] += anchorW * global[i]
-			}
-			totalW += anchorW
+			updates = append(updates, global)
+			weights = append(weights, anchorW)
 		}
-		for i := range agg {
-			agg[i] /= totalW
+		global = opt.Robust.aggregate(dim, updates, weights)
+		if noise != nil {
+			noise.add(global)
 		}
-		global = agg
 		version++
 		buffer = buffer[:0]
 		res.RoundTime = append(res.RoundTime, now)
@@ -257,10 +371,15 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 			// keep training on their stale snapshot. One permutation per
 			// commit keeps server-RNG consumption aligned with Server.Run.
 			perm := s.rng.Perm(len(s.Clients))
-			for _, ci := range perm[:nPart] {
-				if !busy[ci] {
-					dispatch(ci)
+			sampled = perm[:nPart]
+			for _, ci := range sampled {
+				if busy[ci] {
+					continue
 				}
+				if ft != nil && ft.down[ci] {
+					continue
+				}
+				dispatch(ci)
 			}
 		}
 	}
@@ -268,6 +387,16 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 	// final evaluation below cannot race their model writes.
 	if err := grp.Wait(); err != nil {
 		return nil, err
+	}
+	res.DispatchedUpdates = seq
+	res.CommittedUpdates = staleCount
+	for _, job := range inflight {
+		if job.lost {
+			res.DroppedUpdates++
+			res.DroppedWeight += job.weight
+		} else {
+			res.StragglerUpdates++
+		}
 	}
 	if staleCount > 0 {
 		res.MeanStaleness = staleSum / float64(staleCount)
@@ -280,4 +409,17 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// peekNextFinish returns the finish stamp of the job the virtual clock will
+// harvest next — min (finish, seq), matching virtualClock.harvest — so fault
+// events can be applied up to (and including) that instant first.
+func peekNextFinish(inflight []*asyncJob) float64 {
+	best := inflight[0]
+	for _, j := range inflight[1:] {
+		if j.finish < best.finish || (j.finish == best.finish && j.seq < best.seq) {
+			best = j
+		}
+	}
+	return best.finish
 }

@@ -66,6 +66,15 @@ func (c *virtualClock) stamp(job *asyncJob, work float64) {
 
 func (c *virtualClock) completed(job *asyncJob) {}
 
+// advance moves simulated time forward to t (never backward) — used by the
+// fault layer to idle the server to the next scheduled event when nothing is
+// in flight.
+func (c *virtualClock) advance(t float64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
 func (c *virtualClock) harvest(inflight *[]*asyncJob) *asyncJob {
 	jobs := *inflight
 	best := 0

@@ -121,6 +121,11 @@ type Options struct {
 	// aggregation engine (AsyncServer). The zero value keeps the synchronous
 	// FedAvg reference path.
 	Async AsyncOptions
+	// Robust configures the robust-aggregation defences (update-norm
+	// clipping, coordinate-median / trimmed-mean alternatives to FedAvg,
+	// seeded DP noise) shared by both engines. The zero value keeps plain
+	// FedAvg bit-identically.
+	Robust RobustOptions
 }
 
 // DefaultOptions is the practical scale the runnable examples use
@@ -166,6 +171,25 @@ type Result struct {
 	// update aggregated during the run. Filled only by the async engine;
 	// 0 whenever commits wait for all participants (MinUpdates = N).
 	MeanStaleness float64
+	// DispatchedUpdates counts every local-training job the server
+	// dispatched. The data-mass ledger always balances exactly:
+	// DispatchedUpdates = CommittedUpdates + DroppedUpdates +
+	// StragglerUpdates.
+	DispatchedUpdates int
+	// CommittedUpdates counts the updates that reached an aggregate.
+	CommittedUpdates int
+	// DroppedUpdates counts updates lost to crash faults (dispatched but
+	// never aggregated). Always 0 without a fault schedule.
+	DroppedUpdates int
+	// DroppedWeight is the total data mass n_i of the dropped updates.
+	DroppedWeight float64
+	// StragglerUpdates counts updates still in flight when the run's last
+	// round committed (dispatched, neither aggregated nor lost).
+	StragglerUpdates int
+	// MaxUpdateNorm is the largest per-update delta norm actually committed
+	// when Options.Robust.ClipNorm > 0 (so it never exceeds ClipNorm);
+	// 0 when clipping is off.
+	MaxUpdateNorm float64
 }
 
 // Server coordinates FedAvg over a set of clients.
@@ -211,8 +235,12 @@ func (s *Server) Run(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := opt.Robust.validate(); err != nil {
+		return nil, err
+	}
 	global := nn.Flatten(s.Clients[0].Model) // initial broadcast model
 	res := &Result{}
+	noise := newNoiseStream(opt)
 
 	nPart := participantCount(len(s.Clients), opt.Participation)
 	res.BytesPerRound = nPart * dim * 8 * 2 // upload + download
@@ -249,21 +277,25 @@ func (s *Server) Run(opt Options) (*Result, error) {
 			return nil, err
 		}
 
-		agg := make([]float64, dim)
-		var totalW float64
-		for slot := range participants {
-			w := weights[slot]
-			for i, v := range locals[slot] {
-				agg[i] += w * v
+		// Robust defences, in fixed order: clip each update's delta against
+		// the round's broadcast, aggregate with the selected rule (the
+		// FedAvg default reproduces the historical inline loop bit for
+		// bit), then add the seeded DP noise.
+		if opt.Robust.ClipNorm > 0 {
+			for slot := range participants {
+				if n := clipDelta(locals[slot], global, opt.Robust.ClipNorm); n > res.MaxUpdateNorm {
+					res.MaxUpdateNorm = n
+				}
 			}
-			totalW += w
 		}
-		for i := range agg {
-			agg[i] /= totalW
+		global = opt.Robust.aggregate(dim, locals[:nPart], weights[:nPart])
+		if noise != nil {
+			noise.add(global)
 		}
-		global = agg
 		res.RoundAcc = append(res.RoundAcc, evalGlobal(s.Clients, global))
 	}
+	res.DispatchedUpdates = nPart * opt.Rounds
+	res.CommittedUpdates = res.DispatchedUpdates
 	res.GlobalParams = global
 	if err := finalize(s.Clients, global, opt, res); err != nil {
 		return nil, err

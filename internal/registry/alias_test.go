@@ -1,0 +1,131 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// getRaw fetches a URL and returns status, headers and the raw body bytes.
+func getRaw(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestAliasBodiesByteIdenticalToV1 pins the migration contract of the
+// deprecated flat aliases: every alias carries Deprecation plus an exact
+// successor-version Link header, its prediction bodies are byte-identical to
+// the v1 successor's, and the successors themselves are NOT marked
+// deprecated.
+func TestAliasBodiesByteIdenticalToV1(t *testing.T) {
+	_, ts := zooServer(t, Options{DefaultModel: "base"})
+
+	cases := []struct {
+		alias     string
+		v1        string
+		successor string // exact Link target
+	}{
+		{"/predict?node=0", "/v1/models/base/predict?node=0", "/v1/models/base/predict"},
+		{"/predict?nodes=1,2,3", "/v1/models/base/predict?nodes=1,2,3", "/v1/models/base/predict"},
+		{"/predict/all", "/v1/models/base/predict/all", "/v1/models/base/predict"},
+	}
+	for _, c := range cases {
+		status, hdr, aliasBody := getRaw(t, ts.URL+c.alias)
+		if status != 200 {
+			t.Fatalf("%s status %d: %s", c.alias, status, aliasBody)
+		}
+		if hdr.Get("Deprecation") != "true" {
+			t.Errorf("%s missing Deprecation header", c.alias)
+		}
+		want := fmt.Sprintf("<%s>; rel=%q", c.successor, "successor-version")
+		if link := hdr.Get("Link"); link != want {
+			t.Errorf("%s Link = %q, want %q", c.alias, link, want)
+		}
+		v1Status, v1Hdr, v1Body := getRaw(t, ts.URL+c.v1)
+		if v1Status != 200 {
+			t.Fatalf("%s status %d: %s", c.v1, v1Status, v1Body)
+		}
+		if !bytes.Equal(aliasBody, v1Body) {
+			t.Errorf("%s body diverged from %s:\n alias %s\n v1    %s", c.alias, c.v1, aliasBody, v1Body)
+		}
+		if v1Hdr.Get("Deprecation") != "" || v1Hdr.Get("Link") != "" {
+			t.Errorf("%s is the successor; it must not carry deprecation headers", c.v1)
+		}
+	}
+
+	// The healthz alias keeps the old single-model shape (so its body
+	// legitimately differs from the fleet-level successor), but the headers
+	// still point the way.
+	status, hdr, _ := getRaw(t, ts.URL+"/healthz")
+	if status != 200 || hdr.Get("Deprecation") != "true" {
+		t.Fatalf("/healthz not marked deprecated (status %d)", status)
+	}
+	if link := hdr.Get("Link"); link != `</v1/healthz>; rel="successor-version"` {
+		t.Errorf("/healthz Link = %q", link)
+	}
+}
+
+// TestStatsAliasMatchesV1ServerSnapshot checks the legacy /stats alias
+// answers the same live snapshot the v1 stats route embeds as its "server"
+// field — same counters, same headers contract. Wall-time fields (elapsed,
+// qps, latency quantiles) tick between two requests, so the comparison pins
+// the deterministic counters.
+func TestStatsAliasMatchesV1ServerSnapshot(t *testing.T) {
+	_, ts := zooServer(t, Options{DefaultModel: "base"})
+
+	// Drive known traffic first so the counters are non-trivial.
+	for i := 0; i < 3; i++ {
+		if status, _, body := getRaw(t, ts.URL+"/predict?nodes=0,1"); status != 200 {
+			t.Fatalf("warm-up predict status %d: %s", status, body)
+		}
+	}
+
+	status, hdr, legacyBody := getRaw(t, ts.URL+"/stats")
+	if status != 200 {
+		t.Fatalf("/stats status %d", status)
+	}
+	if hdr.Get("Deprecation") != "true" {
+		t.Error("/stats missing Deprecation header")
+	}
+	if link := hdr.Get("Link"); link != `</v1/models/base/stats>; rel="successor-version"` {
+		t.Errorf("/stats Link = %q", link)
+	}
+	v1Status, _, v1Body := getRaw(t, ts.URL+"/v1/models/base/stats")
+	if v1Status != 200 {
+		t.Fatalf("/v1 stats status %d", v1Status)
+	}
+
+	var legacy map[string]any
+	if err := json.Unmarshal(legacyBody, &legacy); err != nil {
+		t.Fatalf("legacy /stats body %q: %v", legacyBody, err)
+	}
+	var v1 struct {
+		Server map[string]any `json:"server"`
+	}
+	if err := json.Unmarshal(v1Body, &v1); err != nil {
+		t.Fatalf("/v1 stats body %q: %v", v1Body, err)
+	}
+	if v1.Server == nil {
+		t.Fatalf("/v1 stats has no server snapshot: %s", v1Body)
+	}
+	for _, key := range []string{"requests", "nodes", "batches", "mean_batch"} {
+		if legacy[key] != v1.Server[key] {
+			t.Errorf("snapshot %s diverged: alias %v vs v1 %v", key, legacy[key], v1.Server[key])
+		}
+	}
+	if legacy["requests"].(float64) < 3 {
+		t.Fatalf("warm-up traffic not counted: %v", legacy["requests"])
+	}
+}

@@ -1,0 +1,125 @@
+package registry
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestConcurrentColdStartsDedupe hammers Acquire on one never-started model
+// from many goroutines at once: every caller must get a working handle on the
+// SAME serving instance, and the checkpoint must have been loaded exactly
+// once (the loading-channel rendezvous, not N racing boots). Run under -race
+// by the CI race job.
+func TestConcurrentColdStartsDedupe(t *testing.T) {
+	dir := zooDir(t, "m@1")
+	r := New(Options{Serve: serve.Options{MaxBatch: 8, Seed: 1}})
+	defer r.Close()
+	if _, err := r.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 32
+	handles := make([]*Handle, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			handles[i], errs[i] = r.Acquire("m")
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	srv := handles[0].Server()
+	for i, h := range handles {
+		if h.Server() != srv {
+			t.Fatalf("caller %d got a different server instance", i)
+		}
+		if _, err := h.Server().Predict([]int{0}); err != nil {
+			t.Fatalf("caller %d predict: %v", i, err)
+		}
+		h.Release()
+	}
+	r.mu.Lock()
+	starts := r.coldStarts
+	r.mu.Unlock()
+	if starts != 1 {
+		t.Fatalf("32 concurrent acquires booted the server %d times, want 1", starts)
+	}
+}
+
+// TestPinnedHandleSurvivesEvictionStorm holds one acquired handle while a
+// storm of concurrent acquires over three other models forces LRU eviction
+// churn far past MaxLoaded=2. The pinned server must keep answering the whole
+// time and must never be evicted: a later acquire of the same ref returns the
+// very same instance. Run under -race by the CI race job.
+func TestPinnedHandleSurvivesEvictionStorm(t *testing.T) {
+	dir := zooDir(t, "pin@1", "b@1", "c@1", "d@1")
+	r := New(Options{Serve: serve.Options{MaxBatch: 8, Seed: 1}, MaxLoaded: 2})
+	defer r.Close()
+	if _, err := r.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	pinned, err := r.Acquire("pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	others := []string{"b", "c", "d"}
+	const workers = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h, err := r.Acquire(others[(w+i)%len(others)])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := h.Server().Predict([]int{i % 4}); err != nil {
+					h.Release()
+					errCh <- err
+					return
+				}
+				h.Release()
+				// The pinned server keeps answering mid-storm.
+				if _, err := pinned.Server().Predict([]int{0}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	// Never evicted: re-acquiring returns the identical serving instance.
+	again, err := r.Acquire("pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Server() != pinned.Server() {
+		t.Fatal("pinned server was evicted and rebooted during the storm")
+	}
+	again.Release()
+	if _, err := pinned.Server().Predict([]int{1}); err != nil {
+		t.Fatalf("pinned server dead after storm: %v", err)
+	}
+	pinned.Release()
+}

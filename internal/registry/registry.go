@@ -66,8 +66,11 @@ type Registry struct {
 	models map[string]*model
 	loaded int    // started servers
 	tick   uint64 // LRU clock
-	closed bool
-	ab     *abState
+	// coldStarts counts successful server boots; concurrent acquires of one
+	// loading entry must dedupe to a single boot, so tests pin this.
+	coldStarts int
+	closed     bool
+	ab         *abState
 }
 
 // model is one named line of versions with a single active one.
@@ -400,6 +403,7 @@ func (r *Registry) acquire(name string, version int) (*Handle, error) {
 		}
 		e.srv = srv
 		r.loaded++
+		r.coldStarts++
 		e.refs++
 		r.tick++
 		e.last = r.tick

@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/federated"
+	"repro/internal/models"
+)
+
+// FuzzScenarioConfig feeds arbitrary scenario specs through the full
+// pipeline — parse, apply to a tiny fleet, run one federated round — and
+// requires that nothing ever panics and every failure is a named-op error
+// ("scenario:" or "federated:" prefixed). The checked-in corpus under
+// testdata/fuzz/FuzzScenarioConfig seeds every registry scenario plus the
+// interesting malformed shapes; CI runs this bounded (-fuzztime) on every
+// push.
+func FuzzScenarioConfig(f *testing.F) {
+	for _, name := range Names() {
+		f.Add(name)
+	}
+	f.Add("churn:leave=2,leaveat=0.9,join=1,joinat=0")
+	f.Add("byz-scale:m=2,factor=1000")
+	f.Add("waves:groups=3,period=0.5")
+	f.Add("straggler:factor=1e6,clients=3")
+	f.Add("crashrejoin:clients=2,at=0,down=1")
+	f.Add("byz-labelflip:m=1,frac=0.5")
+	f.Add("")
+	f.Add("churn:")
+	f.Add("churn:leave=-1")
+	f.Add("steady:x=1")
+	f.Add("byz-scale:factor=NaN")
+	f.Add(":,=,:")
+	f.Fuzz(func(t *testing.T, specStr string) {
+		requireNamed := func(stage string, err error) {
+			if !strings.HasPrefix(err.Error(), "scenario:") && !strings.HasPrefix(err.Error(), "federated:") {
+				t.Fatalf("%s(%q): unnamed error %v", stage, specStr, err)
+			}
+		}
+		sc, err := Parse(specStr)
+		if err != nil {
+			requireNamed("Parse", err)
+			return
+		}
+		subs := tinyFleet(4)
+		opt := baseOpts()
+		opt.Rounds = 1
+		if err := sc.Apply(subs, &opt); err != nil {
+			requireNamed("Apply", err)
+			return
+		}
+		clients := federated.BuildClients(subs, models.Registry["MLP"], tinyConfig(), 3)
+		if _, err := federated.Run(clients, 4, opt); err != nil {
+			requireNamed("Run", err)
+		}
+	})
+}

@@ -157,3 +157,27 @@ func TestHTTPHealthAndStats(t *testing.T) {
 		t.Fatalf("stats empty after a request: %+v", st)
 	}
 }
+
+// TestPrimaryRoutesCarryNoDeprecationHeaders pins that the single-model
+// server's own flat routes are the primary surface here — only the registry's
+// aliases onto these paths are deprecated, so this handler must never stamp
+// Deprecation or successor Link headers.
+func TestPrimaryRoutesCarryNoDeprecationHeaders(t *testing.T) {
+	_, ts := httpServer(t)
+	for _, path := range []string{"/predict?node=0", "/predict/all", "/healthz", "/stats"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		if d := resp.Header.Get("Deprecation"); d != "" {
+			t.Errorf("%s stamped Deprecation %q on the primary surface", path, d)
+		}
+		if l := resp.Header.Get("Link"); l != "" {
+			t.Errorf("%s stamped Link %q on the primary surface", path, l)
+		}
+	}
+}
