@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint docs-lint test race cover fuzz bench serve-demo zoo-demo chaos-demo ci
+.PHONY: all build lint docs-lint test race cover fuzz bench serve-demo zoo-demo chaos-demo torture-demo ci
 
 all: build
 
@@ -34,11 +34,12 @@ test:
 race:
 	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/scenario/... ./internal/core/... ./internal/matrix/... ./internal/sparse/... ./internal/checkpoint/... ./internal/serve/... ./internal/registry/...
 
-# Coverage floor on the numeric kernel and federation packages, matching the
-# CI "coverage" job: internal/matrix + internal/sparse + internal/federated +
-# internal/scenario must stay at >= 90% statements.
+# Coverage floor on the numeric kernel, federation and serving packages,
+# matching the CI "coverage" job: internal/matrix + internal/sparse +
+# internal/federated + internal/scenario + internal/serve + internal/registry
+# must stay at >= 90% statements.
 cover:
-	@$(GO) test -coverprofile=cover.out ./internal/matrix ./internal/sparse ./internal/federated ./internal/scenario
+	@$(GO) test -coverprofile=cover.out ./internal/matrix ./internal/sparse ./internal/federated ./internal/scenario ./internal/serve ./internal/registry
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 	echo "kernel coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 < 90) ? 1 : 0 }' || \
@@ -81,5 +82,12 @@ zoo-demo:
 # robust aggregator, against the fault-free baseline.
 chaos-demo:
 	$(GO) run ./examples/chaos
+
+# Field check of the serving resilience layer: the four torture scenarios
+# (overload, slowmodel, panic, corrupt) against a live loopback HTTP server,
+# each enforcing the no-drop / exactly-once / Retry-After / bit-identity /
+# post-storm-recovery invariants.
+torture-demo:
+	$(GO) run ./cmd/adafgl-bench -exp torture
 
 ci: build lint docs-lint test race cover fuzz bench

@@ -13,7 +13,19 @@
 //
 // -ckpt registers a single artifact (filename stem "name@3.ckpt" carries the
 // name and version; a bare stem is version 1). -model-dir scans a directory
-// of *.ckpt artifacts. Both may be combined.
+// of *.ckpt artifacts. Both may be combined. The directory scan is lenient by
+// default: unreadable or corrupt artifacts are quarantined (logged at
+// startup, listed under "quarantined" in GET /v1/models) and the healthy rest
+// serve; -strict-scan restores fail-fast startup.
+//
+// Resilience knobs: -max-pending bounds the per-model admission queue (excess
+// requests shed with 503 + Retry-After), -request-timeout enforces a
+// server-side deadline (504), and -breaker-threshold/-breaker-backoff/
+// -breaker-max-backoff govern the per-model circuit breaker (consecutive
+// failures trip the model; it fails fast with 503 until a jittered,
+// exponentially growing window elapses and a half-open probe succeeds).
+// -read-header-timeout, -read-timeout and -idle-timeout harden the listener
+// against slow or stuck connections.
 //
 // Endpoints (see internal/registry for the full contract):
 //
@@ -25,7 +37,8 @@
 //	POST /v1/models/{model}/swap         {"version":2} zero-downtime swap
 //	POST /v1/ab                          {"control":...,"candidate":...,"fraction":0.5}
 //	GET  /v1/ab/report                   online accuracy/latency per arm
-//	GET  /v1/healthz                     fleet liveness
+//	GET  /v1/healthz                     fleet liveness (always 200) + readiness summary
+//	GET  /v1/readyz                      readiness probe (503 until something can serve)
 //
 //	/predict, /predict/all, /healthz, /stats — deprecated aliases onto the
 //	default model (Deprecation + Link headers point at the v1 successors).
@@ -66,6 +79,16 @@ func main() {
 		workers      = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS); results are identical for every value")
 		maxLoaded    = flag.Int("max-loaded", registry.DefaultMaxLoaded, "max concurrently started model servers (LRU drains idle ones)")
 		grace        = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP requests")
+
+		maxPending  = flag.Int("max-pending", serve.DefaultMaxPending, "admission-control budget: max queued nodes per model before sheds (503); negative disables")
+		reqTimeout  = flag.Duration("request-timeout", 0, "server-side deadline per predict request (504 past it); 0 disables, explicit client deadlines still apply")
+		strictScan  = flag.Bool("strict-scan", false, "fail startup on any unreadable -model-dir artifact instead of quarantining it")
+		brkThresh   = flag.Int("breaker-threshold", registry.DefaultBreakerThreshold, "consecutive model failures before the circuit breaker trips; negative disables")
+		brkBackoff  = flag.Duration("breaker-backoff", registry.DefaultBreakerBackoff, "initial trip window (doubles per re-trip, jittered, capped by -breaker-max-backoff)")
+		brkBackMax  = flag.Duration("breaker-max-backoff", registry.DefaultBreakerMaxBackoff, "upper bound on the breaker trip window")
+		readHdrWait = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout: max wait for request headers (slowloris guard)")
+		readWait    = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: max wait for a full request read")
+		idleWait    = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: max keep-alive idle time per connection")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -76,14 +99,28 @@ func main() {
 	}
 
 	reg := registry.New(registry.Options{
-		Serve:        serve.Options{MaxBatch: *batch, MaxWait: *batchWait},
+		Serve: serve.Options{
+			MaxBatch:       *batch,
+			MaxWait:        *batchWait,
+			MaxPending:     *maxPending,
+			RequestTimeout: *reqTimeout,
+		},
 		MaxLoaded:    *maxLoaded,
 		DefaultModel: *defaultModel,
+		LenientScan:  !*strictScan,
+		Breaker: registry.BreakerOptions{
+			Threshold:  *brkThresh,
+			Backoff:    *brkBackoff,
+			MaxBackoff: *brkBackMax,
+		},
 	})
 	start := time.Now()
 	if *modelDir != "" {
 		if _, err := reg.LoadDir(*modelDir); err != nil {
 			log.Fatal(err)
+		}
+		for _, q := range reg.Quarantined() {
+			log.Printf("! quarantined %s (%s): %s", q.Path, q.Reason, q.Error)
 		}
 	}
 	if *ckptPath != "" {
@@ -104,7 +141,13 @@ func main() {
 	log.Printf("registered %d artifacts in %v (max %d loaded, batch window: %d nodes / %v)",
 		len(infos), time.Since(start).Round(time.Millisecond), *maxLoaded, *batch, *batchWait)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: reg.Handler()}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           reg.Handler(),
+		ReadHeaderTimeout: *readHdrWait,
+		ReadTimeout:       *readWait,
+		IdleTimeout:       *idleWait,
+	}
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
 

@@ -4,8 +4,10 @@
 // sweeps that carry a path=<kernel> parameter — the speedup against the
 // sibling baseline kernel (path=naive for the GEMM sweep, path=rowstream or
 // path=rebuild for the SpMM sweeps, path=single for the serving-batcher
-// sweep, path=direct for the registry-routing sweep). CI runs it on the
-// smoke-bench output so
+// sweep, path=direct for the registry-routing sweep). Custom metrics a
+// benchmark emits via b.ReportMetric (e.g. the torture harness's shed-rate
+// and p99-ns) land in the record's "extra" map keyed by unit. CI runs it on
+// the smoke-bench output so
 // the artifact tracks every engine's speedup over time; `make bench` mirrors
 // it locally.
 //
@@ -39,11 +41,19 @@ type Result struct {
 	// Speedup is baseline ns/op divided by this record's ns/op, present when
 	// a sibling baseline-path record exists (the baseline itself reports 1).
 	Speedup float64 `json:"speedup,omitempty"`
+	// Extra holds custom metrics the benchmark emitted via b.ReportMetric,
+	// keyed by unit (e.g. "shed-rate", "p99-ns"); absent when none were
+	// reported. The standard ns/op figure is never duplicated here.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchLine matches `BenchmarkFoo/sub-8   	 10	 123456 ns/op ...`,
-// capturing the name (GOMAXPROCS suffix stripped) and the ns/op figure.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// capturing the name (GOMAXPROCS suffix stripped), the ns/op figure, and the
+// remainder of the line (custom b.ReportMetric pairs).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+// metricPair matches one `<value> <unit>` custom-metric token after ns/op.
+var metricPair = regexp.MustCompile(`([0-9.eE+-]+) ([^\s]+)`)
 
 // baselinePaths are the path= values treated as the reference kernel of
 // their sweep.
@@ -96,7 +106,18 @@ func Parse(f *os.File) ([]*Result, error) {
 		}
 		name := strings.TrimPrefix(m[1], "Benchmark")
 		op, size, _ := strings.Cut(name, "/")
-		results = append(results, &Result{Op: op, Size: size, NsPerOp: ns})
+		r := &Result{Op: op, Size: size, NsPerOp: ns}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil || pair[2] == "B/op" || pair[2] == "allocs/op" {
+				continue
+			}
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[pair[2]] = v
+		}
+		results = append(results, r)
 	}
 	return results, sc.Err()
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestParseExtraMetrics pins the custom-metric capture: b.ReportMetric pairs
+// after ns/op land in Extra keyed by unit, the allocation columns are
+// skipped, and plain benchmark lines carry no Extra map at all.
+func TestParseExtraMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	text := "goos: linux\n" +
+		"BenchmarkTortureOverload-8 \t       1\t  34896874 ns/op\t   5529996 p99-ns\t         0.01562 shed-rate\n" +
+		"BenchmarkGEMM/n=128/path=naive-8 \t 100\t 123456 ns/op\t 2048 B/op\t 3 allocs/op\n" +
+		"PASS\n"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	results, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(results))
+	}
+	torture := results[0]
+	if torture.Op != "TortureOverload" || torture.NsPerOp != 34896874 {
+		t.Fatalf("torture record = %+v", torture)
+	}
+	if torture.Extra["p99-ns"] != 5529996 || torture.Extra["shed-rate"] != 0.01562 {
+		t.Fatalf("extra metrics = %v", torture.Extra)
+	}
+	gemm := results[1]
+	if gemm.Extra != nil {
+		t.Fatalf("allocation columns must not become extras: %v", gemm.Extra)
+	}
+}

@@ -37,6 +37,7 @@ var Experiments = map[string]Experiment{
 	"chaos":   {"chaos", "Chaos: failure scenarios x robust aggregators, AdaFGL vs FGL baseline", Chaos},
 	"serve":   {"serve", "Micro: single-request vs batched inference serving", Serve},
 	"zoo":     {"zoo", "Micro: multi-model registry serving, routing overhead + live A/B", Zoo},
+	"torture": {"torture", "Torture: HTTP serving resilience under overload/deadline/panic/corrupt scenarios", Torture},
 }
 
 // IDs returns the experiment ids sorted.

@@ -11,6 +11,7 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -22,6 +23,32 @@ import (
 	"repro/internal/nn"
 	"repro/internal/sparse"
 )
+
+// ErrCorrupt marks a structurally invalid, truncated or CRC-damaged
+// checkpoint artifact. Every Decode, Load and Peek failure caused by the
+// artifact's bytes (as opposed to the filesystem) wraps it, so registry-layer
+// callers can errors.Is-classify "this file is bad" apart from "this file is
+// unreachable" when deciding to quarantine. Test with errors.Is.
+var ErrCorrupt = errors.New("checkpoint: corrupt artifact")
+
+// corruptError tags an error as artifact corruption without altering its
+// message: errors.Is(err, ErrCorrupt) holds, and the named-op text the
+// decode/peek paths produced stays byte-identical.
+type corruptError struct{ err error }
+
+func (e *corruptError) Error() string { return e.err.Error() }
+
+func (e *corruptError) Unwrap() error { return e.err }
+
+func (e *corruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// corrupt wraps err as a corruptError; nil stays nil.
+func corrupt(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &corruptError{err: err}
+}
 
 // Checkpoint is one persisted model+graph artifact: everything needed to
 // rebuild a servable node classifier. Arch names a models.Registry builder
@@ -167,8 +194,18 @@ func (c *Checkpoint) Encode() ([]byte, error) {
 
 // Decode parses a checkpoint from its binary encoding, validating the magic,
 // version, section CRCs and every structural invariant. Corrupt or truncated
-// input yields a named-op error, never a panic.
+// input yields a named-op error wrapping ErrCorrupt, never a panic.
 func Decode(data []byte) (*Checkpoint, error) {
+	c, err := decode(data)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return c, nil
+}
+
+// decode is Decode without the ErrCorrupt tagging: every failure below is by
+// construction a property of the artifact's bytes.
+func decode(data []byte) (*Checkpoint, error) {
 	r := &reader{data: data}
 	if !r.need(len(Magic)) {
 		return nil, r.err

@@ -114,7 +114,9 @@ func (p *peeker) seekTo(off, size int64) {
 // multi-megabyte artifact costs a few kilobytes of IO — this is what lets a
 // registry list a model-zoo directory without loading every model. Peek
 // validates framing and field ranges but not section CRCs; a full Load still
-// performs every integrity check before a model is served.
+// performs every integrity check before a model is served. Failures caused
+// by the artifact's bytes (bad magic, framing violations, truncation) wrap
+// ErrCorrupt; filesystem failures (open, stat) do not.
 func Peek(path string) (*Header, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -125,7 +127,16 @@ func Peek(path string) (*Header, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: Peek: %w", err)
 	}
+	h, err := peek(f, fi.Size())
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return h, nil
+}
 
+// peek reads the header of an opened artifact; every failure below is a
+// property of the file's bytes, so Peek tags them all with ErrCorrupt.
+func peek(f *os.File, size int64) (*Header, error) {
 	p := &peeker{f: f}
 	magic := make([]byte, len(Magic))
 	p.read(magic)
@@ -140,7 +151,7 @@ func Peek(path string) (*Header, error) {
 		return nil, p.err
 	}
 
-	h := &Header{Bytes: fi.Size()}
+	h := &Header{Bytes: size}
 	var seenModel, seenGraph bool
 	lastKind := uint32(0)
 	for i := uint32(0); i < nSec; i++ {
@@ -153,8 +164,8 @@ func Peek(path string) (*Header, error) {
 			return nil, fmt.Errorf("checkpoint: Peek: section kind %d out of order after %d", kind, lastKind)
 		}
 		lastKind = kind
-		if length > uint64(fi.Size()) {
-			return nil, fmt.Errorf("checkpoint: Peek: section %d length %d exceeds file size %d", kind, length, fi.Size())
+		if length > uint64(size) {
+			return nil, fmt.Errorf("checkpoint: Peek: section %d length %d exceeds file size %d", kind, length, size)
 		}
 		start, err := f.Seek(0, io.SeekCurrent)
 		if err != nil {
@@ -178,7 +189,7 @@ func Peek(path string) (*Header, error) {
 			return nil, p.err
 		}
 		// Jump to the end of the section payload plus its 4-byte CRC.
-		p.seekTo(start+int64(length)+4, fi.Size())
+		p.seekTo(start+int64(length)+4, size)
 		if p.err != nil {
 			return nil, p.err
 		}

@@ -7,6 +7,9 @@ import (
 	"io"
 	"net/http"
 	"testing"
+	"time"
+
+	"repro/internal/serve"
 )
 
 // getRaw fetches a URL and returns status, headers and the raw body bytes.
@@ -74,6 +77,53 @@ func TestAliasBodiesByteIdenticalToV1(t *testing.T) {
 	}
 	if link := hdr.Get("Link"); link != `</v1/healthz>; rel="successor-version"` {
 		t.Errorf("/healthz Link = %q", link)
+	}
+}
+
+// TestHealthzAliasTrippedDefaultModel pins the alias contract under the new
+// readiness semantics: when the default model's breaker trips, the flat
+// /healthz alias answers the structured 503 envelope with a Retry-After
+// header — while still carrying its Deprecation and successor Link headers,
+// and while the fleet-level /v1/healthz successor stays a 200 liveness
+// answer.
+func TestHealthzAliasTrippedDefaultModel(t *testing.T) {
+	_, ts := zooServer(t, Options{
+		DefaultModel: "base",
+		Serve:        serve.Options{MaxBatch: 8, Seed: 1, Chaos: serve.ChaosOptions{PanicEvery: 1}},
+		Breaker:      BreakerOptions{Threshold: 1, Backoff: time.Minute, Seed: 1},
+	})
+
+	// Healthy first: byte-compat body shape with the old single-model route.
+	status, hdr, body := getRaw(t, ts.URL+"/healthz")
+	if status != 200 || hdr.Get("Deprecation") != "true" {
+		t.Fatalf("healthy alias = %d (Deprecation %q): %s", status, hdr.Get("Deprecation"), body)
+	}
+
+	// One panicking predict trips the default model (threshold 1).
+	if status, _, _ := getRaw(t, ts.URL+"/predict?node=0"); status != 500 {
+		t.Fatalf("panicking predict status = %d, want 500", status)
+	}
+
+	status, hdr, body = getRaw(t, ts.URL+"/healthz")
+	if status != 503 {
+		t.Fatalf("tripped alias status = %d, want 503: %s", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("tripped alias missing Retry-After")
+	}
+	if hdr.Get("Deprecation") != "true" || hdr.Get("Link") != `</v1/healthz>; rel="successor-version"` {
+		t.Errorf("tripped alias lost deprecation headers: Deprecation %q Link %q",
+			hdr.Get("Deprecation"), hdr.Get("Link"))
+	}
+	var env map[string]any
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("tripped alias body not JSON: %s", body)
+	}
+	wantEnvelope(t, env, "unavailable")
+
+	// Liveness is unconditional: the fleet successor still answers 200.
+	if status, _, _ := getRaw(t, ts.URL+"/v1/healthz"); status != 200 {
+		t.Fatalf("/v1/healthz liveness = %d, want 200", status)
 	}
 }
 

@@ -51,8 +51,13 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrInUse):
 		return http.StatusConflict
-	case errors.Is(err, ErrRegistryClosed), errors.Is(err, serve.ErrClosed):
+	case errors.Is(err, ErrTripped), errors.Is(err, serve.ErrOverloaded),
+		errors.Is(err, ErrRegistryClosed), errors.Is(err, serve.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, serve.ErrModelPanic):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
@@ -71,12 +76,17 @@ func requireMethod(w http.ResponseWriter, req *http.Request, op string, methods 
 	return false
 }
 
-// handleList answers GET /v1/models with every artifact's metadata.
+// handleList answers GET /v1/models with every artifact's metadata — health
+// state included — plus the artifacts a lenient scan quarantined.
 func (r *Registry) handleList(w http.ResponseWriter, req *http.Request) {
 	if !requireMethod(w, req, "registry.models", http.MethodGet) {
 		return
 	}
-	serve.WriteJSON(w, http.StatusOK, map[string]any{"models": r.List()})
+	body := map[string]any{"models": r.List()}
+	if q := r.Quarantined(); len(q) > 0 {
+		body["quarantined"] = q
+	}
+	serve.WriteJSON(w, http.StatusOK, body)
 }
 
 // handlePredict answers single-node and node-set queries on one model,
@@ -232,21 +242,38 @@ func (r *Registry) handleABReport(w http.ResponseWriter, req *http.Request) {
 	serve.WriteJSON(w, http.StatusOK, rep)
 }
 
-// handleFleetHealthz answers GET /v1/healthz with fleet-level liveness.
+// handleFleetHealthz answers GET /v1/healthz with fleet-level liveness plus
+// the readiness summary. Liveness is unconditional — the process answering
+// at all is the signal, so the status is always 200 "ok"; orchestrators that
+// should stop routing traffic when nothing can serve use /v1/readyz.
 func (r *Registry) handleFleetHealthz(w http.ResponseWriter, req *http.Request) {
 	if !requireMethod(w, req, "registry.healthz", http.MethodGet) {
 		return
 	}
 	r.mu.Lock()
-	names, versions := len(r.models), 0
-	for _, m := range r.models {
-		versions += len(m.versions)
-	}
 	loaded := r.loaded
 	r.mu.Unlock()
+	rd := r.Readiness()
 	serve.WriteJSON(w, http.StatusOK, map[string]any{
-		"status": "ok", "models": names, "versions": versions, "loaded": loaded,
+		"status": "ok", "models": rd.Models, "versions": rd.Versions, "loaded": loaded,
+		"ready": rd.Ready, "tripped": rd.Tripped, "quarantined": rd.Quarantined,
 	})
+}
+
+// handleReadyz answers GET /v1/readyz with the readiness summary: 200 when
+// the fleet can serve a prediction, 503 when it cannot (registry closed,
+// nothing registered, or every version tripped). The body is the Readiness
+// JSON either way, so probes and operators see why.
+func (r *Registry) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	if !requireMethod(w, req, "registry.readyz", http.MethodGet) {
+		return
+	}
+	rd := r.Readiness()
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	serve.WriteJSON(w, status, rd)
 }
 
 // handleHealthz answers the legacy /healthz alias with the old single-model

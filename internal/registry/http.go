@@ -2,6 +2,8 @@ package registry
 
 import (
 	"net/http"
+
+	"repro/internal/serve"
 )
 
 // Handler returns the multi-model HTTP surface of the registry — the
@@ -16,16 +18,21 @@ import (
 //	POST /v1/models/{model}/swap         {"version":N} zero-downtime swap
 //	POST /v1/ab                          configure the A/B splitter
 //	GET  /v1/ab/report                   online accuracy/latency per arm
-//	GET  /v1/healthz                     fleet liveness + model count
+//	GET  /v1/healthz                     fleet liveness + readiness summary
+//	GET  /v1/readyz                      readiness probe: 200 serving, 503 not
 //
 //	/predict, /predict/all, /healthz, /stats   deprecated aliases onto the
 //	default model; they answer exactly like the old single-model API and
 //	carry Deprecation plus Link (successor-version) headers.
 //
 // Every error, on every route including the aliases, is the structured JSON
-// envelope {"error":{"op","code","msg"}} (serve.ErrorEnvelope). Handlers
-// validate before touching the engine; unknown models are 404, a closed
-// registry or server 503, conflicting mutations 409.
+// envelope {"error":{"op","code","msg"}} (serve.ErrorEnvelope), except
+// /v1/readyz whose not-ready 503 carries the Readiness body itself so probes
+// see why. Handlers validate before touching the engine; unknown models are
+// 404, a closed registry or server or a tripped/overloaded model 503 (with
+// Retry-After), a missed deadline 504, conflicting mutations 409. The whole
+// mux is wrapped in serve.Recover, so even a handler panic answers the
+// structured 500 envelope instead of killing the connection.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	// Method routing happens inside the handlers so that wrong-method
@@ -39,10 +46,11 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/v1/ab", r.handleAB)
 	mux.HandleFunc("/v1/ab/report", r.handleABReport)
 	mux.HandleFunc("/v1/healthz", r.handleFleetHealthz)
+	mux.HandleFunc("/v1/readyz", r.handleReadyz)
 	// Deprecated flat aliases onto the default model.
 	mux.HandleFunc("/predict", r.legacy("/predict", r.handlePredict))
 	mux.HandleFunc("/predict/all", r.legacy("/predict", r.handlePredictAll))
 	mux.HandleFunc("/healthz", r.legacy("", r.handleHealthz))
 	mux.HandleFunc("/stats", r.legacy("/stats", r.handleModelStatsSnapshot))
-	return mux
+	return serve.Recover("registry.handler", mux)
 }

@@ -14,12 +14,14 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/serve"
@@ -41,6 +43,11 @@ var ErrInUse = errors.New("model in use")
 // been closed; the HTTP layer maps it to 503. Test with errors.Is.
 var ErrRegistryClosed = errors.New("registry closed")
 
+// ErrNoArtifacts marks a LoadDir of a readable directory that simply holds
+// no *.ckpt files — distinct from I/O failures (unreadable directory), which
+// surface the underlying os error instead. Test with errors.Is.
+var ErrNoArtifacts = errors.New("no checkpoint artifacts")
+
 // Options configures a Registry.
 type Options struct {
 	// Serve is the template batching configuration applied to every
@@ -55,6 +62,15 @@ type Options struct {
 	// legacy flat routes (/predict, /healthz, /stats). Empty defaults to the
 	// sole registered model name, erroring when the zoo holds several.
 	DefaultModel string
+	// Breaker configures the per-model circuit breaker; the zero value
+	// selects the package defaults (trip after DefaultBreakerThreshold
+	// consecutive failures, exponential backoff from DefaultBreakerBackoff).
+	Breaker BreakerOptions
+	// LenientScan makes LoadDir quarantine unreadable or corrupt artifacts —
+	// recording path and reason, see Quarantined — instead of failing the
+	// whole scan. This is the self-healing startup mode of adafgl-serve: one
+	// bad file in the zoo directory must not keep every good model offline.
+	LenientScan bool
 }
 
 // Registry is a concurrent, versioned index of checkpoint artifacts with
@@ -71,6 +87,13 @@ type Registry struct {
 	coldStarts int
 	closed     bool
 	ab         *abState
+
+	// breaker holds the defaults-resolved circuit-breaker parameters; rng is
+	// its seeded jitter stream (guarded by mu). quarantined records the
+	// artifacts a lenient LoadDir refused to register.
+	breaker     BreakerOptions
+	rng         *rand.Rand
+	quarantined []QuarantinedArtifact
 }
 
 // model is one named line of versions with a single active one.
@@ -93,6 +116,16 @@ type entry struct {
 	refs    int
 	last    uint64 // LRU tick of the most recent acquire
 	stats   modelStats
+
+	// Circuit-breaker state, guarded by Registry.mu: health is the exposed
+	// state, failures the consecutive breaker-relevant failure run, trips the
+	// consecutive trip count driving the exponential backoff, retryAt when an
+	// open trip window lapses, lastErr the failure that opened it.
+	health   HealthState
+	failures int
+	trips    int
+	retryAt  time.Time
+	lastErr  error
 }
 
 // ref formats the entry's name@version key.
@@ -151,6 +184,14 @@ type ModelInfo struct {
 	Bytes int64 `json:"bytes"`
 	// Path is the artifact's location on disk.
 	Path string `json:"path"`
+	// Health is the circuit-breaker state: "ok", "degraded" or "tripped".
+	Health string `json:"health"`
+	// LastError is the most recent breaker-relevant failure; empty while
+	// healthy.
+	LastError string `json:"last_error,omitempty"`
+	// RetryAt is when a tripped model's backoff window lapses (RFC 3339);
+	// empty unless tripped.
+	RetryAt string `json:"retry_at,omitempty"`
 }
 
 // New creates an empty registry.
@@ -158,7 +199,11 @@ func New(opt Options) *Registry {
 	if opt.MaxLoaded <= 0 {
 		opt.MaxLoaded = DefaultMaxLoaded
 	}
-	return &Registry{opt: opt, models: make(map[string]*model)}
+	return &Registry{
+		opt: opt, models: make(map[string]*model),
+		breaker: opt.Breaker.withDefaults(),
+		rng:     breakerRNG(opt.Breaker.Seed),
+	}
 }
 
 // Add registers the checkpoint at path as name@version, peeking its header
@@ -208,9 +253,29 @@ func (r *Registry) AddFile(path string) (ModelInfo, error) {
 	return r.Add(name, version, path)
 }
 
+// QuarantinedArtifact records one zoo file a lenient LoadDir refused to
+// register, with the reason (corrupt bytes, unreadable file, bad name), so
+// operators can see what is missing from the listing and why.
+type QuarantinedArtifact struct {
+	// Path is the refused artifact's location on disk.
+	Path string `json:"path"`
+	// Reason classifies the refusal: "corrupt" for artifacts whose bytes
+	// fail checkpoint validation, "unreadable" for filesystem failures,
+	// "invalid" for bad names or versions.
+	Reason string `json:"reason"`
+	// Error is the full named-op failure text.
+	Error string `json:"error"`
+}
+
 // LoadDir scans dir for *.ckpt artifacts and registers each via AddFile, in
 // sorted filename order so version lines build deterministically. It returns
-// the infos of everything added.
+// the infos of everything added. A readable directory holding no *.ckpt
+// files fails with ErrNoArtifacts — distinct, via errors.Is, from an
+// unreadable directory, which surfaces the underlying os error. In strict
+// mode (the default) the first bad artifact fails the whole scan; with
+// Options.LenientScan bad artifacts are quarantined (see Quarantined) and
+// the scan registers everything else — the self-healing startup of
+// adafgl-serve.
 func (r *Registry) LoadDir(dir string) ([]ModelInfo, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -224,28 +289,68 @@ func (r *Registry) LoadDir(dir string) ([]ModelInfo, error) {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return nil, fmt.Errorf("registry: LoadDir: no *.ckpt artifacts in %s", dir)
+		return nil, fmt.Errorf("registry: LoadDir: %s holds no *.ckpt files: %w", dir, ErrNoArtifacts)
 	}
 	infos := make([]ModelInfo, 0, len(names))
 	for _, n := range names {
-		info, err := r.AddFile(filepath.Join(dir, n))
+		path := filepath.Join(dir, n)
+		info, err := r.AddFile(path)
 		if err != nil {
-			return nil, fmt.Errorf("registry: LoadDir: %s: %w", n, err)
+			if !r.opt.LenientScan {
+				return nil, fmt.Errorf("registry: LoadDir: %s: %w", n, err)
+			}
+			r.mu.Lock()
+			r.quarantined = append(r.quarantined, QuarantinedArtifact{
+				Path: path, Reason: quarantineReason(err), Error: err.Error(),
+			})
+			r.mu.Unlock()
+			continue
 		}
 		infos = append(infos, info)
 	}
 	return infos, nil
 }
 
+// quarantineReason classifies a refused artifact's failure for its
+// quarantine record.
+func quarantineReason(err error) string {
+	switch {
+	case errors.Is(err, checkpoint.ErrCorrupt):
+		return "corrupt"
+	case errors.Is(err, os.ErrNotExist), errors.Is(err, os.ErrPermission):
+		return "unreadable"
+	}
+	var pathErr *os.PathError
+	if errors.As(err, &pathErr) {
+		return "unreadable"
+	}
+	return "invalid"
+}
+
+// Quarantined returns the artifacts a lenient LoadDir refused to register,
+// in scan order.
+func (r *Registry) Quarantined() []QuarantinedArtifact {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]QuarantinedArtifact(nil), r.quarantined...)
+}
+
 // infoLocked assembles the ModelInfo of e; r.mu must be held.
 func (r *Registry) infoLocked(m *model, e *entry) ModelInfo {
-	return ModelInfo{
+	info := ModelInfo{
 		Name: e.name, Version: e.version,
 		Active: m.active == e.version, Loaded: e.srv != nil,
 		Arch: e.hdr.Arch, Nodes: e.hdr.Nodes, Classes: e.hdr.Classes,
 		Params: e.hdr.Params, HasAdj: e.hdr.HasAdj, Bytes: e.hdr.Bytes,
-		Path: e.path,
+		Path: e.path, Health: e.health.String(),
 	}
+	if e.lastErr != nil {
+		info.LastError = e.lastErr.Error()
+	}
+	if e.health == HealthTripped {
+		info.RetryAt = e.retryAt.Format(time.RFC3339Nano)
+	}
+	return info
 }
 
 // List returns every registered artifact's metadata, sorted by name then
@@ -357,6 +462,13 @@ func (r *Registry) acquire(name string, version int) (*Handle, error) {
 			r.mu.Unlock()
 			return nil, fmt.Errorf("registry: Acquire: %w", err)
 		}
+		// Circuit breaker: inside an open trip window the acquire fails fast
+		// with the typed TrippedError (503 + Retry-After at the HTTP layer);
+		// once the window lapsed this falls through as the half-open probe.
+		if err := r.tripCheckLocked(e); err != nil {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("registry: Acquire: %w", err)
+		}
 		if e.srv != nil {
 			e.refs++
 			r.tick++
@@ -398,9 +510,13 @@ func (r *Registry) acquire(name string, version int) (*Handle, error) {
 			return nil, fmt.Errorf("registry: Acquire: %w", ErrRegistryClosed)
 		}
 		if err != nil {
+			// A failed load (unreadable file, corrupt bytes, rebuild error)
+			// counts toward tripping the model's breaker.
+			r.recordFailureLocked(e, err)
 			r.mu.Unlock()
 			return nil, fmt.Errorf("registry: Acquire: %s: %w", e.ref(), err)
 		}
+		r.recordSuccessLocked(e)
 		e.srv = srv
 		r.loaded++
 		r.coldStarts++

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -144,7 +145,10 @@ func (r *Registry) Predict(ref string, nodes []int) ([]serve.Prediction, error) 
 
 // predictOn answers nodes on name@version (0 = active), recording the
 // model's counters, and reports the scoring and latency so A/B arm
-// accounting can reuse them without re-acquiring the model.
+// accounting can reuse them without re-acquiring the model. Engine panics
+// (serve.ErrModelPanic) count toward the model's circuit breaker — sheds,
+// deadlines and validation errors are the client's or the load's fault, not
+// the model's, and do not; a successful predict closes the breaker.
 func (r *Registry) predictOn(name string, version int, nodes []int) (preds []serve.Prediction, labelled, correct int, lat time.Duration, err error) {
 	h, err := r.acquire(name, version)
 	if err != nil {
@@ -154,11 +158,17 @@ func (r *Registry) predictOn(name string, version int, nodes []int) (preds []ser
 	start := time.Now()
 	preds, err = h.Server().Predict(nodes)
 	if err != nil {
+		if errors.Is(err, serve.ErrModelPanic) {
+			r.mu.Lock()
+			r.recordFailureLocked(h.e, err)
+			r.mu.Unlock()
+		}
 		return nil, 0, 0, 0, err
 	}
 	lat = time.Since(start)
 	labelled, correct = scorePreds(h.Server(), preds)
 	r.mu.Lock()
+	r.recordSuccessLocked(h.e)
 	h.e.stats.record(len(nodes), labelled, correct, lat)
 	r.mu.Unlock()
 	return preds, labelled, correct, lat, nil

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/matrix"
@@ -8,13 +9,18 @@ import (
 	"repro/internal/parallel"
 )
 
-// request is one in-flight Predict call from enqueue to completion.
+// request is one in-flight Predict call from enqueue to completion. A
+// non-zero deadline is enforced twice: by the caller's context select while
+// waiting, and by the dispatcher when it opens the window — an expired
+// request is failed with ErrDeadline instead of computed, so a stale caller
+// never costs engine work.
 type request struct {
-	nodes []int
-	enq   time.Time
-	preds []Prediction
-	err   error
-	done  chan struct{}
+	nodes    []int
+	enq      time.Time
+	deadline time.Time
+	preds    []Prediction
+	err      error
+	done     chan struct{}
 }
 
 // dispatch is the batching loop: one goroutine owns the model and coalesces
@@ -83,18 +89,47 @@ func (s *Server) failPending() {
 	}
 }
 
-// runBatch answers one window: a single logits source is produced for the
-// union of queried nodes — the decoupled embedding head on gathered rows, or
-// one full plan-reused propagation — and scattered back per request.
+// runBatch answers one window: requests whose deadline already lapsed are
+// failed with ErrDeadline without costing engine work, then a single logits
+// source is produced for the union of the surviving queried nodes — the
+// decoupled embedding head on gathered rows, or one full plan-reused
+// propagation — and scattered back per request. Dropping expired requests
+// never changes survivors' answers: every per-node result is computed by a
+// row-independent kernel, so window composition cannot leak between rows.
+// An engine panic (a model bug, or injected chaos) is recovered here and
+// fails only this window's live requests with ErrModelPanic — the
+// dispatcher, and with it the server, keeps running.
 func (s *Server) runBatch(batch []*request) {
-	var ids []int
+	s.windows++
+	now := time.Now()
+	live := batch[:0]
 	for _, r := range batch {
+		if !r.deadline.IsZero() && now.After(r.deadline) {
+			r.err = fmt.Errorf("serve: Predict: expired before batch window: %w", ErrDeadline)
+			close(r.done)
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	var ids []int
+	for _, r := range live {
 		ids = append(ids, r.nodes...)
 	}
-	rows := s.logitsFor(ids)
+	rows, err := s.safeLogitsFor(ids)
+	if err != nil {
+		for _, r := range live {
+			r.err = err
+			close(r.done)
+		}
+		return
+	}
 
 	off := 0
-	for _, r := range batch {
+	for _, r := range live {
 		r.preds = make([]Prediction, len(r.nodes))
 		for i, node := range r.nodes {
 			row := rows.Row(off + i)
@@ -106,6 +141,29 @@ func (s *Server) runBatch(batch []*request) {
 		close(r.done)
 	}
 	s.metrics.recordBatch()
+}
+
+// safeLogitsFor runs the model engine for one window behind a recover
+// barrier, converting a panic — and the chaos schedule's injected faults —
+// into an ErrModelPanic the window's requests fail with. The fault schedule
+// keys off s.windows, owned by this (the dispatcher's) goroutine, so a
+// seeded scenario injects the same faults at the same windows on every run.
+func (s *Server) safeLogitsFor(ids []int) (rows *matrix.Dense, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			rows = nil
+			err = fmt.Errorf("serve: Predict: engine panic: %v: %w", rec, ErrModelPanic)
+		}
+	}()
+	if c := s.opt.Chaos; c.active() {
+		if c.DelayEvery > 0 && c.Delay > 0 && s.windows%c.DelayEvery == 0 {
+			time.Sleep(c.Delay)
+		}
+		if c.PanicEvery > 0 && s.windows%c.PanicEvery == 0 {
+			panic(fmt.Sprintf("chaos: injected engine panic at window %d", s.windows))
+		}
+	}
+	return s.logitsFor(ids), nil
 }
 
 // logitsFor computes the class-score rows for ids, in order.

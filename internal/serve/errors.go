@@ -2,7 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // APIError is the structured JSON error body shared by every HTTP handler of
@@ -43,9 +47,39 @@ func CodeForStatus(status int) string {
 		return "method_not_allowed"
 	case http.StatusServiceUnavailable:
 		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "deadline"
 	default:
 		return "internal"
 	}
+}
+
+// RetryAfterer is implemented by errors that carry an advisory client
+// backoff — the registry's circuit-breaker error reports its remaining trip
+// window this way. WriteError turns the hint into a Retry-After header.
+type RetryAfterer interface {
+	// RetryAfter is the advisory delay before the client should retry.
+	RetryAfter() time.Duration
+}
+
+// DefaultRetryAfter is the advisory Retry-After delay stamped on shed and
+// draining responses whose error carries no explicit hint.
+const DefaultRetryAfter = time.Second
+
+// RetryAfterHint returns the advisory Retry-After delay for err: the
+// explicit hint when err implements RetryAfterer, DefaultRetryAfter for the
+// transient serving failures a client should simply retry (overload shed,
+// draining, closed), and false for everything else (validation errors,
+// deadlines the client chose, engine panics).
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var ra RetryAfterer
+	if errors.As(err, &ra) {
+		return ra.RetryAfter(), true
+	}
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrClosed) {
+		return DefaultRetryAfter, true
+	}
+	return 0, false
 }
 
 // WriteJSON writes v as the JSON response body with the given status.
@@ -57,9 +91,39 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // WriteError writes err as the structured JSON error envelope with the given
-// status, stamping op and the status-derived code.
+// status, stamping op and the status-derived code. Errors carrying a retry
+// hint (overload sheds, draining servers, tripped breakers — see
+// RetryAfterHint) additionally get a Retry-After header in whole seconds
+// (minimum 1), so well-behaved clients back off instead of hammering.
 func WriteError(w http.ResponseWriter, status int, op string, err error) {
+	if d, ok := RetryAfterHint(err); ok {
+		secs := int(d / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	WriteJSON(w, status, ErrorEnvelope{Error: APIError{
 		Op: op, Code: CodeForStatus(status), Msg: err.Error(),
 	}})
+}
+
+// Recover wraps h so a panic anywhere below it — a handler bug, a model
+// blowing up outside the batcher's own recovery — answers the structured 500
+// envelope instead of killing the connection. Both HTTP surfaces (the
+// single-model Handler and the registry's v1 API) wrap their whole mux in
+// it, so every route is panic-isolated: one poisoned request can never take
+// the process or even its own keep-alive connection down. If the handler
+// already started writing a response the envelope cannot be delivered; the
+// panic is still swallowed and the connection completes.
+func Recover(op string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				WriteError(w, http.StatusInternalServerError, op,
+					fmt.Errorf("serve: %s: handler panic: %v", op, rec))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
 }

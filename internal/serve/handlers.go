@@ -104,11 +104,18 @@ func (s *Server) handlePredictAll(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, PredictResponse{Predictions: preds})
 }
 
-// PredictStatus maps Predict errors to HTTP statuses: a closed or draining
-// server is 503, everything else (validation) is 400.
+// PredictStatus maps Predict errors to HTTP statuses: an overload shed or a
+// closed/draining server is 503 (WriteError adds Retry-After), a missed
+// deadline is 504, a recovered engine panic is 500, everything else
+// (validation) is 400.
 func PredictStatus(err error) int {
-	if errors.Is(err, ErrClosed) {
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrModelPanic):
+		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest
 }

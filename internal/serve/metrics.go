@@ -14,14 +14,17 @@ const latWindow = 1 << 14
 // Server. All methods are safe for concurrent use; tests and callers only
 // see it through Snapshot.
 type Metrics struct {
-	mu       sync.Mutex
-	start    time.Time
-	requests uint64
-	nodes    uint64
-	batches  uint64
-	lat      []time.Duration // ring buffer of request latencies
-	latNext  int
-	latFull  bool
+	mu        sync.Mutex
+	start     time.Time
+	requests  uint64
+	nodes     uint64
+	batches   uint64
+	shed      uint64
+	deadlines uint64
+	panics    uint64
+	lat       []time.Duration // ring buffer of request latencies
+	latNext   int
+	latFull   bool
 }
 
 // reset starts the metrics epoch.
@@ -30,6 +33,7 @@ func (m *Metrics) reset() {
 	defer m.mu.Unlock()
 	m.start = time.Now()
 	m.requests, m.nodes, m.batches = 0, 0, 0
+	m.shed, m.deadlines, m.panics = 0, 0, 0
 	m.lat = make([]time.Duration, 0, 1024)
 	m.latNext, m.latFull = 0, false
 }
@@ -58,6 +62,27 @@ func (m *Metrics) recordBatch() {
 	m.mu.Unlock()
 }
 
+// recordShed accounts one Predict call rejected by admission control.
+func (m *Metrics) recordShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// recordDeadline accounts one Predict call that missed its deadline.
+func (m *Metrics) recordDeadline() {
+	m.mu.Lock()
+	m.deadlines++
+	m.mu.Unlock()
+}
+
+// recordPanic accounts one Predict call failed by an engine panic.
+func (m *Metrics) recordPanic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
 // Snapshot is a point-in-time view of a Server's serving metrics.
 type Snapshot struct {
 	// Requests is the number of completed Predict calls.
@@ -66,6 +91,15 @@ type Snapshot struct {
 	Nodes uint64 `json:"nodes"`
 	// Batches is the number of executed batch windows.
 	Batches uint64 `json:"batches"`
+	// Shed is the number of Predict calls rejected by admission control
+	// (ErrOverloaded).
+	Shed uint64 `json:"shed"`
+	// Deadlines is the number of Predict calls that missed their deadline
+	// (ErrDeadline).
+	Deadlines uint64 `json:"deadlines"`
+	// Panics is the number of Predict calls failed by a recovered engine
+	// panic (ErrModelPanic).
+	Panics uint64 `json:"panics"`
 	// MeanBatch is Nodes/Batches — the achieved coalescing factor.
 	MeanBatch float64 `json:"mean_batch"`
 	// P50 and P99 are request-latency percentiles over the recent window.
@@ -86,6 +120,7 @@ func (m *Metrics) snapshot() Snapshot {
 	m.mu.Lock()
 	s := Snapshot{
 		Requests: m.requests, Nodes: m.nodes, Batches: m.batches,
+		Shed: m.shed, Deadlines: m.deadlines, Panics: m.panics,
 		Elapsed: time.Since(m.start),
 	}
 	if m.batches > 0 {

@@ -16,13 +16,16 @@ import (
 // Malformed or truncated input yields HTTP 400 with a structured error
 // envelope ({"error":{"op","code","msg"}}, see ErrorEnvelope) — handlers
 // validate before touching the engine, so corrupt requests can never panic
-// the server. The multi-model v1 API (/v1/models/{name}/...) is the
-// registry package's Handler, which routes onto servers like this one.
+// the server. Overload sheds answer 503 with Retry-After, missed deadlines
+// 504, recovered engine panics 500; the whole mux is wrapped in Recover, so
+// even a handler panic answers the structured 500 envelope instead of
+// killing the connection. The multi-model v1 API (/v1/models/{name}/...) is
+// the registry package's Handler, which routes onto servers like this one.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/predict/all", s.handlePredictAll)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	return Recover("serve.handler", mux)
 }

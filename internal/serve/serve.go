@@ -11,6 +11,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -34,9 +35,26 @@ type Options struct {
 	// is drained (lowest latency, still coalescing under concurrency);
 	// negative selects DefaultMaxWait.
 	MaxWait time.Duration
+	// MaxPending is the admission-control budget: the total number of
+	// queried nodes admitted but not yet answered. A Predict call that would
+	// push the pending total past the budget is shed immediately with
+	// ErrOverloaded (HTTP 503 + Retry-After) instead of queueing unboundedly.
+	// A request larger than the whole budget is still admitted when nothing
+	// else is pending, so full-graph queries always make progress. 0 selects
+	// DefaultMaxPending; negative disables admission control.
+	MaxPending int
+	// RequestTimeout is the per-request deadline Predict applies when the
+	// caller's context carries none. A request whose deadline passes before
+	// its batch window runs fails with ErrDeadline (HTTP 504) while the rest
+	// of the window completes normally — survivors' answers stay
+	// bit-identical. 0 disables the server-side deadline.
+	RequestTimeout time.Duration
 	// Seed drives the model-rebuild RNG. It only affects training-time
 	// dropout streams, never inference outputs.
 	Seed int64
+	// Chaos injects deterministic faults into the batch engine for the
+	// torture harness and resilience tests. The zero value injects nothing.
+	Chaos ChaosOptions
 }
 
 // DefaultMaxBatch is the batch-window node budget used when
@@ -47,9 +65,36 @@ const DefaultMaxBatch = 64
 // negative.
 const DefaultMaxWait = 2 * time.Millisecond
 
+// DefaultMaxPending is the admission-control budget (in queued nodes) used
+// when Options.MaxPending is 0.
+const DefaultMaxPending = 1 << 14
+
 // ErrClosed is the failure every Predict call sinks to once the server has
 // been closed; test with errors.Is.
 var ErrClosed = errors.New("serve: Predict: server closed")
+
+// ErrDraining is the failure new Predict calls sink to while Drain retires
+// the server: admitted requests are still answered, new ones are turned away.
+// It wraps ErrClosed, so existing errors.Is(err, ErrClosed) checks keep
+// matching; test for the draining phase specifically with
+// errors.Is(err, ErrDraining).
+var ErrDraining = fmt.Errorf("serve: Predict: server draining: %w", ErrClosed)
+
+// ErrOverloaded marks a Predict call shed by admission control: the pending
+// node budget (Options.MaxPending) was exhausted. The HTTP layer maps it to
+// 503 with a Retry-After header; test with errors.Is.
+var ErrOverloaded = errors.New("serve: Predict: overloaded: pending-node budget exhausted")
+
+// ErrDeadline marks a Predict call that missed its deadline (the caller's
+// context deadline or Options.RequestTimeout) before or while its batch
+// window ran. The HTTP layer maps it to 504; test with errors.Is.
+var ErrDeadline = errors.New("serve: Predict: request deadline exceeded")
+
+// ErrModelPanic marks a batch window whose model engine panicked. The
+// dispatcher recovers, fails only that window's requests with this error
+// (HTTP 500) and keeps serving; the registry's circuit breaker counts these
+// toward tripping the model. Test with errors.Is.
+var ErrModelPanic = errors.New("serve: Predict: model engine panicked")
 
 // Prediction is the answer for one queried node.
 type Prediction struct {
@@ -87,6 +132,13 @@ type Server struct {
 	draining atomic.Bool
 	inflight atomic.Int64
 
+	// pending counts admitted-but-unanswered queried nodes — the admission
+	// budget MaxPending is enforced against. windows counts executed batch
+	// windows; it is owned by the dispatcher goroutine and drives the
+	// deterministic chaos fault schedule.
+	pending atomic.Int64
+	windows int
+
 	metrics Metrics
 }
 
@@ -102,6 +154,12 @@ func New(ck *checkpoint.Checkpoint, opt Options) (*Server, error) {
 	}
 	if opt.MaxWait < 0 {
 		opt.MaxWait = DefaultMaxWait
+	}
+	if opt.MaxPending == 0 {
+		opt.MaxPending = DefaultMaxPending
+	}
+	if opt.RequestTimeout < 0 {
+		return nil, fmt.Errorf("serve: New: RequestTimeout %v < 0", opt.RequestTimeout)
 	}
 	m, err := ck.Model(opt.Seed)
 	if err != nil {
@@ -138,7 +196,38 @@ func (s *Server) Decoupled() bool { return s.emb != nil }
 // containing them has run. Node ids outside the graph yield a named-op
 // error before any work is enqueued; a closed server yields an error too.
 // Results are bit-identical for every batch size, window and worker count.
+// Equivalent to PredictCtx with a background context: the only deadline is
+// Options.RequestTimeout, the only shed admission control.
 func (s *Server) Predict(nodes []int) ([]Prediction, error) {
+	return s.PredictCtx(context.Background(), nodes)
+}
+
+// PredictCtx is Predict under a caller-supplied context. The effective
+// deadline is the context's when it carries one, else Options.RequestTimeout
+// when set; a request that misses it — queued too long, or stuck behind a
+// slow batch window — fails with ErrDeadline while the rest of its window
+// completes normally with bit-identical answers. Requests that would exceed
+// the pending-node budget (Options.MaxPending) are shed immediately with
+// ErrOverloaded. Every admitted request is answered exactly once: with
+// predictions, or with exactly one of ErrDeadline/ErrModelPanic/ErrClosed.
+func (s *Server) PredictCtx(ctx context.Context, nodes []int) ([]Prediction, error) {
+	preds, err := s.predictCtx(ctx, nodes)
+	// Metrics for the failure modes are counted here, at the single point
+	// every Predict outcome funnels through, so a request shed or expired on
+	// either side (caller or dispatcher) is counted exactly once.
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.metrics.recordShed()
+	case errors.Is(err, ErrDeadline):
+		s.metrics.recordDeadline()
+	case errors.Is(err, ErrModelPanic):
+		s.metrics.recordPanic()
+	}
+	return preds, err
+}
+
+// predictCtx validates, admits, enqueues and awaits one request.
+func (s *Server) predictCtx(ctx context.Context, nodes []int) ([]Prediction, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("serve: Predict: empty node list")
 	}
@@ -154,23 +243,59 @@ func (s *Server) Predict(nodes []int) ([]Prediction, error) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	if s.draining.Load() {
-		return nil, ErrClosed
+		return nil, ErrDraining
+	}
+	// Admission control for load: shed when the pending-node budget is
+	// exhausted — unless nothing is pending, so one request larger than the
+	// whole budget (a full-graph query) still makes progress.
+	n := int64(len(nodes))
+	if budget := int64(s.opt.MaxPending); budget > 0 {
+		for {
+			cur := s.pending.Load()
+			if cur > 0 && cur+n > budget {
+				return nil, fmt.Errorf("serve: Predict: %d nodes pending, %d more would exceed budget %d: %w",
+					cur, n, budget, ErrOverloaded)
+			}
+			if s.pending.CompareAndSwap(cur, cur+n) {
+				break
+			}
+		}
+	} else {
+		s.pending.Add(n)
+	}
+	defer s.pending.Add(-n)
+
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline && s.opt.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.RequestTimeout)
+		defer cancel()
+		deadline, hasDeadline = ctx.Deadline()
 	}
 	req := &request{
 		nodes: append([]int(nil), nodes...),
 		enq:   time.Now(),
 		done:  make(chan struct{}),
 	}
+	if hasDeadline {
+		req.deadline = deadline
+	}
 	select {
 	case s.queue <- req:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: Predict: expired before enqueue: %w", ErrDeadline)
 	case <-s.quit:
 		return nil, ErrClosed
 	}
 	// The enqueue above can win its select race against a concurrent Close
 	// (both channels ready), leaving the request in a queue no dispatcher
-	// will drain — so waiting must also watch for dispatcher exit.
+	// will drain — so waiting must also watch for dispatcher exit. A context
+	// expiry while waiting abandons the answer (the dispatcher will also
+	// notice the lapsed deadline and skip the work when it opens the window).
 	select {
 	case <-req.done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: Predict: expired in queue: %w", ErrDeadline)
 	case <-s.stopped:
 		select {
 		case <-req.done: // answered (or failed) during shutdown
@@ -204,8 +329,9 @@ func (s *Server) Label(node int) (int, bool) {
 }
 
 // Drain gracefully retires the server: new Predict calls are turned away
-// with ErrClosed immediately, every already-admitted call is answered by the
-// dispatcher as usual, and only then is the batcher stopped. Safe to call
+// with ErrDraining (which wraps ErrClosed) immediately, every
+// already-admitted call is answered by the dispatcher as usual, and only
+// then is the batcher stopped. Safe to call
 // more than once and concurrently with Close; blocks until the dispatcher
 // has exited. This is what lets a registry swap checkpoints with zero
 // dropped requests: in-flight batch windows finish on the old model while
