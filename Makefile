@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint docs-lint test race cover fuzz bench serve-demo zoo-demo chaos-demo torture-demo ci
+.PHONY: all build lint docs-lint test race cover fuzz bench serve-demo zoo-demo chaos-demo torture-demo shard-demo ci
 
 all: build
 
@@ -29,30 +29,33 @@ test:
 
 # Race-detector coverage of the concurrent paths (worker pool, federated
 # fan-out incl. fault injection, chaos scenarios, AdaFGL Step-2 fan-out,
-# parallel kernels, serving batcher, model registry swap/acquire), matching
-# the CI "race" job.
+# parallel kernels, serving batcher, model registry swap/acquire, partition
+# determinism across worker counts, sharded routing fan-out), matching the
+# CI "race" job.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/scenario/... ./internal/core/... ./internal/matrix/... ./internal/sparse/... ./internal/checkpoint/... ./internal/serve/... ./internal/registry/...
+	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/scenario/... ./internal/core/... ./internal/matrix/... ./internal/sparse/... ./internal/checkpoint/... ./internal/serve/... ./internal/registry/... ./internal/partition/... ./internal/shard/...
 
-# Coverage floor on the numeric kernel, federation and serving packages,
-# matching the CI "coverage" job: internal/matrix + internal/sparse +
-# internal/federated + internal/scenario + internal/serve + internal/registry
-# must stay at >= 90% statements.
+# Coverage floor on the numeric kernel, federation, serving and sharding
+# packages, matching the CI "coverage" job: internal/matrix + internal/sparse
+# + internal/federated + internal/scenario + internal/serve +
+# internal/registry + internal/partition + internal/shard must stay at
+# >= 90% statements.
 cover:
-	@$(GO) test -coverprofile=cover.out ./internal/matrix ./internal/sparse ./internal/federated ./internal/scenario ./internal/serve ./internal/registry
+	@$(GO) test -coverprofile=cover.out ./internal/matrix ./internal/sparse ./internal/federated ./internal/scenario ./internal/serve ./internal/registry ./internal/partition ./internal/shard
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 	echo "kernel coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 < 90) ? 1 : 0 }' || \
 		{ echo "coverage $$total% below the 90% floor" >&2; exit 1; }
 
 # Bounded fuzz pass over the CSR construction, SpMM equivalence, checkpoint
-# round-trip and chaos scenario-spec targets, matching the CI "fuzz" job
-# (seed corpora in the packages' testdata/fuzz directories).
+# round-trip, chaos scenario-spec and shard-plan round-trip targets, matching
+# the CI "fuzz" job (seed corpora in the packages' testdata/fuzz directories).
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzCSRFromEdges$$' -fuzztime=15s ./internal/sparse
 	$(GO) test -run='^$$' -fuzz='^FuzzSpMMEquivalence$$' -fuzztime=15s ./internal/sparse
 	$(GO) test -run='^$$' -fuzz='^FuzzCheckpointRoundTrip$$' -fuzztime=15s ./internal/checkpoint
 	$(GO) test -run='^$$' -fuzz='^FuzzScenarioConfig$$' -fuzztime=15s ./internal/scenario
+	$(GO) test -run='^$$' -fuzz='^FuzzShardRoundTrip$$' -fuzztime=15s ./internal/shard
 
 # Smoke bench: every benchmark once, output preserved as the BENCH artifact
 # in both raw (bench-smoke.txt) and machine-readable (BENCH_smoke.json, via
@@ -89,5 +92,12 @@ chaos-demo:
 # post-storm-recovery invariants.
 torture-demo:
 	$(GO) run ./cmd/adafgl-bench -exp torture
+
+# Field check of the sharding layer at full scale: stream a million-node
+# graph into 1..8 shards, proving per-shard memory and fleet propagation
+# time scale ~linearly with the shard count and that sharded predictions
+# stay bit-identical to the unsharded server (overlap-scale cross-check).
+shard-demo:
+	$(GO) run ./cmd/adafgl-bench -exp shard
 
 ci: build lint docs-lint test race cover fuzz bench

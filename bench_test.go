@@ -20,6 +20,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/parallel"
 	"repro/internal/partition"
+	"repro/internal/shard"
 	"repro/internal/sparse"
 
 	"repro/internal/datasets"
@@ -341,6 +342,53 @@ func BenchmarkParallelFederatedRound(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkShardScale sweeps the sharded graph engine across shard counts on
+// one streamed graph: each op is a full 2-hop sharded propagation (every
+// shard's SpMM plus the halo exchanges between hops). The custom metrics
+// carry the fleet story into the smoke-bench artifact: max-shard-bytes is the
+// per-process memory a shard-per-process fleet provisions — it should fall
+// ~linearly with the shard count — and halo-cols counts the replicated
+// boundary columns that bound the exchange traffic. path=shard2/shard4 group
+// against the path=whole single-shard baseline, so BENCH_smoke.json tracks
+// the serial overhead sharding adds on one machine (the fleet speedup is
+// measured by `adafgl-bench -exp shard`, where shards run concurrently).
+func BenchmarkShardScale(b *testing.B) {
+	const n, hops = 30000, 2
+	spec := datasets.DefaultStream(n, 1)
+	for _, shards := range []int{1, 2, 4} {
+		p, err := shard.PlanFromStream(spec, shards, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sh, err := shard.BuildFromStream(spec, p, sparse.NormSym)
+		if err != nil {
+			b.Fatal(err)
+		}
+		halo := 0
+		for _, one := range sh.Shards {
+			halo += one.Halo()
+		}
+		// The shard count rides inside the path token so benchjson groups
+		// every row under one (n, hops) key and computes speedups against
+		// the path=whole baseline. No trailing -N: benchjson strips that as
+		// a GOMAXPROCS suffix.
+		path := fmt.Sprintf("shard%d", shards)
+		if shards == 1 {
+			path = "whole"
+		}
+		b.Run(fmt.Sprintf("n=%d/hops=%d/path=%s", n, hops, path), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sh.Embedding(hops, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sh.MaxShardBytes()), "max-shard-bytes")
+			b.ReportMetric(float64(halo), "halo-cols")
 		})
 	}
 }

@@ -43,6 +43,9 @@ func main() {
 		asyncStaleness = flag.Float64("async-staleness", 0, "async staleness discount α — an update s rounds stale is weighted α/(1+s) (0 = 1.0, leaving fresh updates undiscounted)")
 		asyncWall      = flag.Bool("async-wall", false, "order async arrivals by real training completion (wall clock) instead of the seeded virtual clock; implies -async; not reproducible")
 
+		shardNodes = flag.Int("shard-nodes", 1_000_000, "streamed graph size for the shard scaling experiment")
+		shardMax   = flag.Int("shard-max", 8, "largest shard count of the shard experiment's sweep")
+
 		robust    = flag.String("robust", "", "Step-1 robust aggregator: fedavg (default), median, or trim")
 		trimFrac  = flag.Float64("trim-frac", 0.2, "trimmed-mean fraction dropped per side when -robust trim (in [0, 0.5))")
 		clip      = flag.Float64("clip", 0, "L2 update-norm clipping bound applied to every client update before aggregation (0 = off)")
@@ -95,6 +98,8 @@ func main() {
 	if *seed != 0 {
 		scale.Seed = *seed
 	}
+	scale.ShardNodes = *shardNodes
+	scale.ShardMax = *shardMax
 	scale.Async = federated.AsyncOptions{Enabled: *async || *asyncWall, MinUpdates: *asyncK, Staleness: *asyncStaleness}
 	if *asyncWall {
 		scale.Async.Clock = federated.NewWallClock()

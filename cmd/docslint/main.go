@@ -45,6 +45,8 @@ var strictDirs = map[string]bool{
 	"internal/checkpoint": true,
 	"internal/serve":      true,
 	"internal/registry":   true,
+	"internal/partition":  true,
+	"internal/shard":      true,
 }
 
 func main() {

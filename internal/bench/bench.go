@@ -51,6 +51,11 @@ type Scale struct {
 	// cmd/adafgl-bench); the zero value keeps exact FedAvg. The chaos
 	// experiment owns its aggregator sweep and ignores this field.
 	Robust federated.RobustOptions
+	// ShardNodes / ShardMax size the "shard" scaling experiment: the
+	// streamed graph's node count and the largest shard count of the sweep
+	// (wired to -shard-nodes/-shard-max; zero selects the smoke defaults of
+	// 60k nodes and 8 shards — the CLI default is the million-node run).
+	ShardNodes, ShardMax int
 }
 
 // DefaultScale is the smoke scale used by tests and testing.B benches.

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardExperiment runs the scaling sweep at a tiny node count and checks
+// the report's shape: header, one row per shard count, and the bit-identity
+// overlap check passing.
+func TestShardExperiment(t *testing.T) {
+	s := tinyScale()
+	s.ShardNodes = 3000
+	s.ShardMax = 4
+	lines, err := ShardExp(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 header lines + rows for shards 1, 2, 4 + the overlap line.
+	if len(lines) != 6 {
+		t.Fatalf("shard lines = %d, want 6: %q", len(lines), lines)
+	}
+	for i, shards := range []string{"1", "2", "4"} {
+		if !strings.HasPrefix(strings.TrimSpace(lines[2+i]), shards+" ") {
+			t.Fatalf("row %d = %q, want shard count %s", i, lines[2+i], shards)
+		}
+	}
+	if !strings.Contains(lines[5], "bit-identical") {
+		t.Fatalf("missing overlap check line: %q", lines[5])
+	}
+}
+
+// TestShardExperimentDefaults checks the zero-value Scale falls back to the
+// smoke defaults rather than a degenerate sweep.
+func TestShardExperimentDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("60k-node default sweep skipped in -short mode")
+	}
+	lines, err := ShardExp(Scale{Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 headers + shards 1,2,4,8 + overlap line.
+	if len(lines) != 7 {
+		t.Fatalf("default shard lines = %d, want 7: %q", len(lines), lines)
+	}
+}

@@ -1,0 +1,233 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// StreamSpec describes a synthetic attributed graph whose every property —
+// edges, features, labels, masks — is a pure function of (spec, index), so
+// arbitrarily large graphs can be *streamed* instead of materialised: a
+// consumer replays the edge stream in bounded-memory passes (ForEachEdge)
+// and derives any node's metadata in O(1) (Label, FeatureRow, MaskOf). The
+// planted structure mirrors the registry generator: nodes belong to
+// round-robin communities, communities carry class labels, and each edge is
+// homophilous (same community) with probability EdgeHomophily, else lands on
+// a different-class community — the same knobs Table I's datasets use, now
+// at million-node scale.
+type StreamSpec struct {
+	// Nodes, Features and Classes size the graph.
+	Nodes, Features, Classes int
+	// Communities is the number of planted communities (>= Classes);
+	// community c holds the nodes {c, c+Communities, c+2·Communities, ...}
+	// and carries class c mod Classes. 0 selects 8·Classes.
+	Communities int
+	// AvgDegree controls the edge-stream length: M = Nodes·AvgDegree/2
+	// draws (duplicates collapse on construction, exactly like the
+	// materialised generator's edge list).
+	AvgDegree float64
+	// EdgeHomophily is the probability an edge stays inside its source
+	// community; the remainder lands on a uniformly random community of a
+	// *different* class.
+	EdgeHomophily float64
+	// FeatureSignal scales the class-mean separation of the Gaussian
+	// features.
+	FeatureSignal float64
+	// TrainFrac/ValFrac set the per-node split masks (remainder is test).
+	TrainFrac, ValFrac float64
+	// Seed drives every hash stream; equal specs yield bit-equal graphs.
+	Seed int64
+}
+
+// DefaultStream returns a million-node-ready spec at the given node count:
+// 16 features, 8 classes, 64 communities, average degree 8, Cora-like
+// homophily.
+func DefaultStream(nodes int, seed int64) StreamSpec {
+	return StreamSpec{
+		Nodes: nodes, Features: 16, Classes: 8, Communities: 64,
+		AvgDegree: 8, EdgeHomophily: 0.8, FeatureSignal: 0.5,
+		TrainFrac: 0.2, ValFrac: 0.4, Seed: seed,
+	}
+}
+
+// Validate checks the spec is generatable.
+func (s StreamSpec) Validate() error {
+	c := s.communities()
+	switch {
+	case s.Nodes < 1:
+		return fmt.Errorf("datasets: StreamSpec: Nodes %d < 1", s.Nodes)
+	case s.Features < 1:
+		return fmt.Errorf("datasets: StreamSpec: Features %d < 1", s.Features)
+	case s.Classes < 1:
+		return fmt.Errorf("datasets: StreamSpec: Classes %d < 1", s.Classes)
+	case c < s.Classes:
+		return fmt.Errorf("datasets: StreamSpec: %d communities < %d classes", c, s.Classes)
+	case c > s.Nodes:
+		return fmt.Errorf("datasets: StreamSpec: %d communities > %d nodes", c, s.Nodes)
+	case s.AvgDegree < 0:
+		return fmt.Errorf("datasets: StreamSpec: AvgDegree %g < 0", s.AvgDegree)
+	case s.EdgeHomophily < 0 || s.EdgeHomophily > 1:
+		return fmt.Errorf("datasets: StreamSpec: EdgeHomophily %g outside [0,1]", s.EdgeHomophily)
+	case s.TrainFrac < 0 || s.ValFrac < 0 || s.TrainFrac+s.ValFrac > 1:
+		return fmt.Errorf("datasets: StreamSpec: bad split fractions %g/%g", s.TrainFrac, s.ValFrac)
+	}
+	return nil
+}
+
+// NumCommunities resolves the planted community count (the Communities
+// default applied).
+func (s StreamSpec) NumCommunities() int { return s.communities() }
+
+// communities resolves the Communities default.
+func (s StreamSpec) communities() int {
+	if s.Communities > 0 {
+		return s.Communities
+	}
+	return 8 * s.Classes
+}
+
+// NumEdges returns the edge-stream length (draws, before dedup).
+func (s StreamSpec) NumEdges() int {
+	return int(float64(s.Nodes) * s.AvgDegree / 2)
+}
+
+// Community returns node v's community id.
+func (s StreamSpec) Community(v int) int { return v % s.communities() }
+
+// Label returns node v's class (its community's class).
+func (s StreamSpec) Label(v int) int { return s.Community(v) % s.Classes }
+
+// commSize returns the number of member nodes of community c.
+func (s StreamSpec) commSize(c int) int {
+	n, k := s.Nodes, s.communities()
+	size := n / k
+	if c < n%k {
+		size++
+	}
+	return size
+}
+
+// member returns the i-th member node of community c.
+func (s StreamSpec) member(c, i int) int { return c + i*s.communities() }
+
+// EdgeAt derives the endpoints of the i-th edge draw in O(1). ok is false
+// for the draws that land on a self-pair — consumers skip those, so every
+// replay of the stream sees the identical edge sequence.
+func (s StreamSpec) EdgeAt(i int) (u, v int, ok bool) {
+	h := newHashStream(uint64(s.Seed), 0xed6e, uint64(i))
+	u = int(h.next() % uint64(s.Nodes))
+	cu := s.Community(u)
+	var cv int
+	if h.unit() < s.EdgeHomophily || s.Classes < 2 {
+		cv = cu
+	} else {
+		// A different-class community: pick a class q != label(u), then a
+		// community carrying q. Communities of class q are {q, q+Q, ...}.
+		q := int(h.next() % uint64(s.Classes-1))
+		if q >= s.Label(u) {
+			q++
+		}
+		nq := (s.communities() - q - 1) / s.Classes // communities of class q, minus one
+		cv = q + int(h.next()%uint64(nq+1))*s.Classes
+	}
+	v = s.member(cv, int(h.next()%uint64(s.commSize(cv))))
+	return u, v, u != v
+}
+
+// ForEachEdge replays the whole edge stream in index order, calling fn for
+// every valid draw. Memory use is O(1); callers needing several passes (e.g.
+// degree counting then row construction) simply call it again.
+func (s StreamSpec) ForEachEdge(fn func(u, v int)) {
+	for i, m := 0, s.NumEdges(); i < m; i++ {
+		if u, v, ok := s.EdgeAt(i); ok {
+			fn(u, v)
+		}
+	}
+}
+
+// FeatureRow derives node v's feature row into dst (len Features): the
+// class mean plus unit Gaussian noise, both hash-seeded, matching the
+// registry generator's structure without storing any matrix.
+func (s StreamSpec) FeatureRow(v int, dst []float64) {
+	q := s.Label(v)
+	for j := range dst {
+		mean := newHashStream(uint64(s.Seed), 0x3ea7, uint64(q)<<20|uint64(j))
+		noise := newHashStream(uint64(s.Seed), 0xf0a7, uint64(v)<<16|uint64(j))
+		dst[j] = s.FeatureSignal*mean.gauss() + noise.gauss()
+	}
+}
+
+// MaskOf returns node v's split membership (exactly one of the three).
+func (s StreamSpec) MaskOf(v int) (train, val, test bool) {
+	r := newHashStream(uint64(s.Seed), 0x3a5c, uint64(v)).unit()
+	switch {
+	case r < s.TrainFrac:
+		return true, false, false
+	case r < s.TrainFrac+s.ValFrac:
+		return false, true, false
+	default:
+		return false, false, true
+	}
+}
+
+// Materialize assembles the full in-memory graph the stream describes —
+// the cross-check anchor for the sharded builders, and the direct path for
+// specs small enough to fit. Panics on an invalid spec (mirroring Generate);
+// stream consumers that need an error call Validate first.
+func (s StreamSpec) Materialize() *graph.Graph {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	edges := make([][2]int, 0, s.NumEdges())
+	s.ForEachEdge(func(u, v int) { edges = append(edges, [2]int{u, v}) })
+	x := matrix.New(s.Nodes, s.Features)
+	labels := make([]int, s.Nodes)
+	for v := 0; v < s.Nodes; v++ {
+		s.FeatureRow(v, x.Row(v))
+		labels[v] = s.Label(v)
+	}
+	g := graph.New(s.Nodes, edges, x, labels, s.Classes)
+	for v := 0; v < s.Nodes; v++ {
+		g.TrainMask[v], g.ValMask[v], g.TestMask[v] = s.MaskOf(v)
+	}
+	return g
+}
+
+// hashStream is a tiny counter-based PRNG: a splitmix64 chain seeded from
+// (seed, tag, index), so any (node, edge, feature) draw is reachable in O(1)
+// without shared state.
+type hashStream struct{ state uint64 }
+
+// newHashStream seeds a stream for one (tag, index) cell.
+func newHashStream(seed, tag, index uint64) *hashStream {
+	return &hashStream{state: splitmix64(splitmix64(seed^splitmix64(tag)) ^ splitmix64(index))}
+}
+
+// next advances the chain and returns 64 fresh bits.
+func (h *hashStream) next() uint64 {
+	h.state = splitmix64(h.state)
+	return h.state
+}
+
+// unit returns a uniform draw in [0, 1).
+func (h *hashStream) unit() float64 {
+	return float64(h.next()>>11) * 0x1p-53
+}
+
+// gauss returns a standard normal draw (Box–Muller).
+func (h *hashStream) gauss() float64 {
+	u1 := float64(h.next()>>11+1) * 0x1p-53 // (0, 1]: log stays finite
+	u2 := h.unit()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// splitmix64 is the SplitMix64 finalizer — a full-avalanche 64-bit mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,135 @@
+package datasets
+
+import (
+	"testing"
+)
+
+// TestStreamSpecValidate covers every rejection branch and the defaults.
+func TestStreamSpecValidate(t *testing.T) {
+	good := DefaultStream(100, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.NumCommunities() != 64 {
+		t.Fatalf("NumCommunities = %d", good.NumCommunities())
+	}
+	zero := StreamSpec{Nodes: 100, Features: 4, Classes: 4}
+	if zero.NumCommunities() != 32 {
+		t.Fatalf("default communities = %d, want 8*classes", zero.NumCommunities())
+	}
+	bad := []func(*StreamSpec){
+		func(s *StreamSpec) { s.Nodes = 0 },
+		func(s *StreamSpec) { s.Features = 0 },
+		func(s *StreamSpec) { s.Classes = 0 },
+		func(s *StreamSpec) { s.Communities = 4 }, // < classes
+		func(s *StreamSpec) { s.Communities = s.Nodes + 1 },
+		func(s *StreamSpec) { s.AvgDegree = -1 },
+		func(s *StreamSpec) { s.EdgeHomophily = 1.5 },
+		func(s *StreamSpec) { s.TrainFrac = 0.9; s.ValFrac = 0.2 },
+	}
+	for i, mut := range bad {
+		s := DefaultStream(100, 1)
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+// TestStreamDeterministicAndO1 pins the pure-function contract: replaying
+// the stream yields the identical edge sequence, and the O(1) accessors
+// agree with the materialised graph.
+func TestStreamDeterministicAndO1(t *testing.T) {
+	spec := DefaultStream(300, 9)
+	var first, second [][2]int
+	spec.ForEachEdge(func(u, v int) { first = append(first, [2]int{u, v}) })
+	spec.ForEachEdge(func(u, v int) { second = append(second, [2]int{u, v}) })
+	if len(first) == 0 || len(first) != len(second) {
+		t.Fatalf("replay lengths %d/%d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("edge %d differs across replays", i)
+		}
+	}
+	for i := range first {
+		u, v := first[i][0], first[i][1]
+		if u < 0 || u >= spec.Nodes || v < 0 || v >= spec.Nodes || u == v {
+			t.Fatalf("edge %d = (%d,%d) invalid", i, u, v)
+		}
+	}
+
+	g := spec.Materialize()
+	if g.N != spec.Nodes || g.Classes != spec.Classes {
+		t.Fatalf("materialised shape %d/%d", g.N, g.Classes)
+	}
+	row := make([]float64, spec.Features)
+	for v := 0; v < g.N; v += 17 {
+		if g.Labels[v] != spec.Label(v) || spec.Label(v) != spec.Community(v)%spec.Classes {
+			t.Fatalf("label of %d inconsistent", v)
+		}
+		spec.FeatureRow(v, row)
+		for j := range row {
+			if g.X.Row(v)[j] != row[j] {
+				t.Fatalf("feature row of %d differs at %d", v, j)
+			}
+		}
+		train, val, test := spec.MaskOf(v)
+		if g.TrainMask[v] != train || g.ValMask[v] != val || g.TestMask[v] != test {
+			t.Fatalf("masks of %d inconsistent", v)
+		}
+		if b2i(train)+b2i(val)+b2i(test) != 1 {
+			t.Fatalf("node %d in %d splits", v, b2i(train)+b2i(val)+b2i(test))
+		}
+	}
+}
+
+// TestStreamHomophilyKnob checks the planted structure responds to the
+// homophily knob: a homophilous stream keeps most edges inside communities,
+// a heterophilous one sends most to different-class communities.
+func TestStreamHomophilyKnob(t *testing.T) {
+	for _, tc := range []struct {
+		h       float64
+		minSame float64
+		maxSame float64
+	}{{0.9, 0.8, 1.0}, {0.1, 0.0, 0.3}} {
+		spec := DefaultStream(2000, 4)
+		spec.EdgeHomophily = tc.h
+		same, crossClass, total := 0, 0, 0
+		spec.ForEachEdge(func(u, v int) {
+			total++
+			if spec.Community(u) == spec.Community(v) {
+				same++
+			} else if spec.Label(u) != spec.Label(v) {
+				crossClass++
+			}
+		})
+		frac := float64(same) / float64(total)
+		if frac < tc.minSame || frac > tc.maxSame {
+			t.Fatalf("homophily %g: same-community fraction %g outside [%g,%g]",
+				tc.h, frac, tc.minSame, tc.maxSame)
+		}
+		if same+crossClass != total {
+			t.Fatalf("homophily %g: %d cross-community same-class edges (want 0)",
+				tc.h, total-same-crossClass)
+		}
+	}
+}
+
+// TestMaterializePanicsOnInvalid pins the Generate-mirroring panic contract.
+func TestMaterializePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StreamSpec{}.Materialize()
+}
+
+// b2i converts a bool to 0/1.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

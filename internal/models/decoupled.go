@@ -29,6 +29,7 @@ func PropagateK(adj *sparse.Plan, x *matrix.Dense, k int) []*matrix.Dense {
 // k-step propagated features, X^(k) = ÃᵏX (Sec. II-B of the paper).
 type SGC struct {
 	g      *graph.Graph
+	hops   int
 	xk     *matrix.Dense
 	linear *nn.Linear
 }
@@ -39,6 +40,7 @@ func NewSGC(g *graph.Graph, cfg Config, rng *rand.Rand) *SGC {
 	hops := PropagateK(adj, g.X, cfg.Hops)
 	return &SGC{
 		g:      g,
+		hops:   cfg.Hops,
 		xk:     hops[len(hops)-1],
 		linear: nn.NewLinear("sgc", g.X.Cols, g.Classes, rng),
 	}

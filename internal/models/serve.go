@@ -3,6 +3,7 @@ package models
 import (
 	"repro/internal/matrix"
 	"repro/internal/nn"
+	"repro/internal/sparse"
 )
 
 // HeadLayer is one affine layer of a decoupled model's inference head:
@@ -58,3 +59,82 @@ func (m *GAMLP) InferenceFactors() (*matrix.Dense, []HeadLayer) {
 func (m *MLPModel) InferenceFactors() (*matrix.Dense, []HeadLayer) {
 	return m.g.X, headFromMLP(m.mlp)
 }
+
+// EmbeddingSpec is the *recipe* for a decoupled model's embedding — how many
+// propagation hops to run and how to combine them — as opposed to
+// InferenceFactors, which returns the embedding already materialised for the
+// whole graph. A sharded server uses the recipe to rebuild each shard's
+// slice of the embedding locally (with halo exchange at shard edges) without
+// ever holding the full matrix.
+type EmbeddingSpec struct {
+	// Hops is the propagation depth K.
+	Hops int
+	// HopWeights, when non-nil (len Hops+1), combine the hop stack
+	// Σ_k HopWeights[k]·X^(k) in ascending k order (GAMLP); nil takes the
+	// final hop X^(K) alone (SGC, and the K=0 MLP case).
+	HopWeights []float64
+	// Norm is the adjacency normalisation the hops propagate with.
+	Norm sparse.NormKind
+}
+
+// ShardableDecoupled is a Decoupled model that can also describe its
+// embedding as a recipe, enabling shard-local cache construction.
+type ShardableDecoupled interface {
+	Decoupled
+	// EmbeddingSpec returns the recipe under the current parameter values.
+	EmbeddingSpec() EmbeddingSpec
+}
+
+// EmbeddingSpec implements ShardableDecoupled: SGC's embedding is the final
+// hop X^(K).
+func (m *SGC) EmbeddingSpec() EmbeddingSpec {
+	return EmbeddingSpec{Hops: m.hops, Norm: sparse.NormSym}
+}
+
+// EmbeddingSpec implements ShardableDecoupled: GAMLP combines all K+1 hops
+// under the current gate softmax.
+func (m *GAMLP) EmbeddingSpec() EmbeddingSpec {
+	return EmbeddingSpec{Hops: len(m.hops) - 1, HopWeights: softmaxVec(m.gate.Value.Data), Norm: sparse.NormSym}
+}
+
+// EmbeddingSpec implements ShardableDecoupled: the MLP baseline never
+// propagates, so its embedding is hop zero (the raw features).
+func (m *MLPModel) EmbeddingSpec() EmbeddingSpec { return EmbeddingSpec{Norm: sparse.NormSym} }
+
+// InferenceLayer is one step of a message-passing model's inference
+// pipeline: either a propagation (one Ã multiply) or a row-wise dense head
+// layer. The alternating sequence lets a sharded engine interleave local
+// SpMM with halo exchange while applying the dense steps row-locally.
+type InferenceLayer struct {
+	// Propagate marks a Ã·H step; Head is ignored when set.
+	Propagate bool
+	// Head is the affine(+ReLU) step applied to every row independently.
+	Head HeadLayer
+}
+
+// Layered is implemented by message-passing architectures whose inference
+// decomposes into an alternating propagate / row-wise-dense pipeline. GCN
+// qualifies (dropout is an identity at inference); architectures with
+// cross-layer residuals to the input do not.
+type Layered interface {
+	Model
+	// InferenceLayers returns the pipeline under the current parameters;
+	// weights alias live parameters like InferenceFactors.
+	InferenceLayers() []InferenceLayer
+	// PropagationNorm is the adjacency normalisation the propagation steps
+	// use.
+	PropagationNorm() sparse.NormKind
+}
+
+// InferenceLayers implements Layered: Ã → W₁+ReLU → Ã → W₂.
+func (m *GCN) InferenceLayers() []InferenceLayer {
+	return []InferenceLayer{
+		{Propagate: true},
+		{Head: HeadLayer{W: m.l1.W.Value, Bias: m.l1.B.Value.Data, ReLU: true}},
+		{Propagate: true},
+		{Head: HeadLayer{W: m.l2.W.Value, Bias: m.l2.B.Value.Data}},
+	}
+}
+
+// PropagationNorm implements Layered.
+func (m *GCN) PropagationNorm() sparse.NormKind { return sparse.NormSym }

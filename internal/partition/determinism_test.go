@@ -1,0 +1,129 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// partitionFixture is a mid-sized planted-community graph the determinism
+// and invariant tests share.
+func partitionFixture(seed int64) *graph.Graph {
+	return datasets.DefaultStream(400, seed).Materialize()
+}
+
+// samePartition reports whether two assignment vectors are identical.
+func samePartition(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLouvainDeterministic pins Louvain's seeded determinism: the same
+// graph and seed yield bit-identical assignments across reruns and across
+// worker counts — community detection must not depend on the parallel
+// pool's width.
+func TestLouvainDeterministic(t *testing.T) {
+	g := partitionFixture(3)
+	ref := Louvain(g, rand.New(rand.NewSource(5)))
+	for run := 0; run < 3; run++ {
+		if got := Louvain(g, rand.New(rand.NewSource(5))); !samePartition(got, ref) {
+			t.Fatalf("rerun %d: Louvain differs on identical seed", run)
+		}
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	for _, workers := range []int{1, 2, 7} {
+		parallel.SetWorkers(workers)
+		if got := Louvain(g, rand.New(rand.NewSource(5))); !samePartition(got, ref) {
+			t.Fatalf("workers=%d: Louvain differs from reference", workers)
+		}
+	}
+}
+
+// TestMetisDeterministic pins METIS's seeded determinism across reruns and
+// worker counts, for several shard counts.
+func TestMetisDeterministic(t *testing.T) {
+	g := partitionFixture(11)
+	for _, k := range []int{2, 4, 8} {
+		ref := Metis(g, k, rand.New(rand.NewSource(9)))
+		for run := 0; run < 3; run++ {
+			if got := Metis(g, k, rand.New(rand.NewSource(9))); !samePartition(got, ref) {
+				t.Fatalf("k=%d rerun %d: Metis differs on identical seed", k, run)
+			}
+		}
+		prev := parallel.SetWorkers(1)
+		for _, workers := range []int{1, 3, 8} {
+			parallel.SetWorkers(workers)
+			if got := Metis(g, k, rand.New(rand.NewSource(9))); !samePartition(got, ref) {
+				parallel.SetWorkers(prev)
+				t.Fatalf("k=%d workers=%d: Metis differs from reference", k, workers)
+			}
+		}
+		parallel.SetWorkers(prev)
+	}
+}
+
+// bruteForceCut recounts cut edges off the symmetric CSR adjacency —
+// independent of the canonical edge list EdgeCut iterates.
+func bruteForceCut(g *graph.Graph, part []int) int {
+	adj := g.Adj()
+	cut := 0
+	for u := 0; u < g.N; u++ {
+		for k := adj.RowPtr[u]; k < adj.RowPtr[u+1]; k++ {
+			if v := adj.ColIdx[k]; u < v && part[u] != part[v] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// TestPartitionInvariants property-checks both partitioners over several
+// seeded graphs: every node assigned exactly once to a real part, no part
+// empty, and the reported EdgeCut matching a brute-force recount.
+func TestPartitionInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := partitionFixture(seed)
+		const k = 5
+		parts := map[string][]int{
+			"metis":   Metis(g, k, rand.New(rand.NewSource(seed))),
+			"louvain": Louvain(g, rand.New(rand.NewSource(seed))),
+		}
+		for name, part := range parts {
+			if len(part) != g.N {
+				t.Fatalf("%s/seed %d: %d assignments for %d nodes", name, seed, len(part), g.N)
+			}
+			max := 0
+			for v, p := range part {
+				if p < 0 {
+					t.Fatalf("%s/seed %d: node %d unassigned (%d)", name, seed, v, p)
+				}
+				if p > max {
+					max = p
+				}
+			}
+			sizes := PartSizes(part, max+1)
+			for p, n := range sizes {
+				if n == 0 {
+					t.Fatalf("%s/seed %d: part %d is empty (sizes %v)", name, seed, p, sizes)
+				}
+			}
+			if name == "metis" && len(sizes) != k {
+				t.Fatalf("metis/seed %d: %d parts, want %d", seed, len(sizes), k)
+			}
+			if got, want := EdgeCut(g, part), bruteForceCut(g, part); got != want {
+				t.Fatalf("%s/seed %d: EdgeCut %d, brute force %d", name, seed, got, want)
+			}
+		}
+	}
+}

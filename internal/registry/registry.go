@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 // DefaultMaxLoaded is the LRU bound on concurrently started servers used
@@ -71,6 +72,12 @@ type Options struct {
 	// whole scan. This is the self-healing startup mode of adafgl-serve: one
 	// bad file in the zoo directory must not keep every good model offline.
 	LenientScan bool
+	// Shards, when > 1, serves every model shard-aware: each started
+	// instance is a shard.NewServer fleet instead of a single-process
+	// serve.Server. Predictions are unchanged (bit-identical for decoupled
+	// architectures); only the memory/throughput scaling profile differs.
+	// 0 or 1 serves unsharded.
+	Shards int
 }
 
 // Registry is a concurrent, versioned index of checkpoint artifacts with
@@ -111,7 +118,7 @@ type entry struct {
 	path    string
 	hdr     *checkpoint.Header
 
-	srv     *serve.Server
+	srv     serve.Predictor
 	loading chan struct{} // non-nil while a goroutine starts the server
 	refs    int
 	last    uint64 // LRU tick of the most recent acquire
@@ -415,12 +422,12 @@ func (r *Registry) resolveLocked(name string, version int) (*model, *entry, erro
 type Handle struct {
 	r    *Registry
 	e    *entry
-	srv  *serve.Server // pinned at acquire: stays valid across Close/evict
+	srv  serve.Predictor // pinned at acquire: stays valid across Close/evict
 	once sync.Once
 }
 
 // Server returns the leased serving instance.
-func (h *Handle) Server() *serve.Server { return h.srv }
+func (h *Handle) Server() serve.Predictor { return h.srv }
 
 // Name returns the leased model's name.
 func (h *Handle) Name() string { return h.e.name }
@@ -528,11 +535,16 @@ func (r *Registry) acquire(name string, version int) (*Handle, error) {
 	}
 }
 
-// start loads the checkpoint at path and boots its serving instance.
-func (r *Registry) start(path string) (*serve.Server, error) {
+// start loads the checkpoint at path and boots its serving instance —
+// single-process by default, a sharded fleet when Options.Shards asks for
+// one.
+func (r *Registry) start(path string) (serve.Predictor, error) {
 	ck, err := checkpoint.Load(path)
 	if err != nil {
 		return nil, err
+	}
+	if r.opt.Shards > 1 {
+		return shard.NewServer(ck, r.opt.Shards, r.opt.Serve)
 	}
 	return serve.New(ck, r.opt.Serve)
 }
@@ -542,8 +554,8 @@ func (r *Registry) start(path string) (*serve.Server, error) {
 // detaches their serving instances and returns them for the caller to drain
 // outside the lock. Acquired servers are never evicted; when everything is
 // acquired the bound is exceeded rather than failing the acquire.
-func (r *Registry) evictLocked() []*serve.Server {
-	var victims []*serve.Server
+func (r *Registry) evictLocked() []serve.Predictor {
+	var victims []serve.Predictor
 	for r.loaded+1 > r.opt.MaxLoaded {
 		var lru *entry
 		for _, m := range r.models {
@@ -641,7 +653,7 @@ func (r *Registry) Close() {
 		return
 	}
 	r.closed = true
-	var servers []*serve.Server
+	var servers []serve.Predictor
 	for _, m := range r.models {
 		for _, e := range m.versions {
 			if e.srv != nil {

@@ -108,7 +108,7 @@ func (r *Registry) Stats(name string) (*ModelStats, error) {
 		return nil, fmt.Errorf("registry: Stats: unknown model %q: %w", name, ErrNotFound)
 	}
 	st := &ModelStats{Name: name, ActiveVersion: m.active, Versions: make(map[string]ArmStats, len(m.versions))}
-	var activeSrv *serve.Server
+	var activeSrv serve.Predictor
 	for v, e := range m.versions {
 		st.Versions[fmt.Sprintf("%d", v)] = e.stats.view()
 		if v == m.active {
@@ -175,7 +175,7 @@ func (r *Registry) predictOn(name string, version int, nodes []int) (preds []ser
 }
 
 // scorePreds counts labelled nodes and correct classifications among preds.
-func scorePreds(s *serve.Server, preds []serve.Prediction) (labelled, correct int) {
+func scorePreds(s serve.Predictor, preds []serve.Prediction) (labelled, correct int) {
 	for _, p := range preds {
 		if want, ok := s.Label(p.Node); ok {
 			labelled++

@@ -187,14 +187,18 @@ func (s *Server) logitsFor(ids []int) *matrix.Dense {
 	for i, id := range ids {
 		copy(in.Row(i), s.emb.Row(id))
 	}
-	return applyHead(s.head, in)
+	return ApplyHead(s.head, in)
 }
 
-// applyHead evaluates the dense head on every row of in: per row, a
-// sequence of GEMVs (out_j = Σ_k in_k·W_kj + b_j) with optional ReLU. Rows
-// fan out over the bounded pool; within a row the accumulation order is
-// fixed, so results never depend on batching or workers.
-func applyHead(head []models.HeadLayer, in *matrix.Dense) *matrix.Dense {
+// ApplyHead evaluates a dense head on every row of in: per row, a sequence
+// of GEMVs (out_j = b_j + Σ_k in_k·W_kj, bias first, k ascending) with
+// optional ReLU. Rows fan out over the bounded pool; within a row the
+// accumulation order is fixed, so results never depend on batching, worker
+// count — or, because each row is computed alone, on which row subset
+// (shard) it is evaluated in. That row-subset stability is what lets the
+// sharded serving path in internal/shard reuse this exact kernel and stay
+// bit-identical to the single-process server.
+func ApplyHead(head []models.HeadLayer, in *matrix.Dense) *matrix.Dense {
 	cur := in
 	for _, l := range head {
 		out := matrix.New(cur.Rows, l.W.Cols)

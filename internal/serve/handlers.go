@@ -125,8 +125,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"arch":      s.arch,
-		"nodes":     s.g.N,
-		"classes":   s.g.Classes,
+		"nodes":     s.Nodes(),
+		"classes":   s.Classes(),
 		"decoupled": s.Decoupled(),
 	})
 }

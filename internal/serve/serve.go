@@ -106,12 +106,42 @@ type Prediction struct {
 	Logits []float64 `json:"logits"`
 }
 
+// Predictor is the serving surface shared by the single-process *Server and
+// the shard-routed server in internal/shard: everything the registry, the
+// HTTP handlers and the A/B splitter need from a model instance. The
+// registry stores Predictors, so a sharded fleet drops into the same swap /
+// LRU / circuit-breaker machinery as a single-graph server.
+type Predictor interface {
+	// Predict classifies nodes (see Server.Predict).
+	Predict(nodes []int) ([]Prediction, error)
+	// PredictCtx is Predict under a caller context (see Server.PredictCtx).
+	PredictCtx(ctx context.Context, nodes []int) ([]Prediction, error)
+	// PredictAll classifies every servable node.
+	PredictAll() ([]Prediction, error)
+	// Arch returns the served architecture's registry name.
+	Arch() string
+	// Nodes returns the number of servable nodes.
+	Nodes() int
+	// Classes returns the number of output classes.
+	Classes() int
+	// Decoupled reports whether queries ride an embedding fast path.
+	Decoupled() bool
+	// Label returns a node's ground-truth class when known.
+	Label(node int) (int, bool)
+	// Stats snapshots the latency/throughput metrics.
+	Stats() Snapshot
+	// Drain retires the instance gracefully (see Server.Drain).
+	Drain()
+	// Close stops the instance immediately (see Server.Close).
+	Close()
+}
+
 // Server is an embedded batched-inference server bound to one checkpointed
 // model. Concurrent Predict calls are coalesced by a single dispatcher into
 // batch windows; the numeric work of each window runs on the bounded
 // parallel pool. Create with New, release with Close.
 type Server struct {
-	g     *graph.Graph
+	src   graph.NodeSource
 	model models.Model
 	arch  string
 
@@ -142,15 +172,13 @@ type Server struct {
 	metrics Metrics
 }
 
-// New rebuilds the checkpointed model and starts the batching dispatcher.
-// Decoupled architectures pay their propagation exactly once here, so the
-// construction cost covers all future queries.
-func New(ck *checkpoint.Checkpoint, opt Options) (*Server, error) {
+// withDefaults resolves the Options defaults shared by every constructor.
+func (opt Options) withDefaults() (Options, error) {
 	if opt.MaxBatch == 0 {
 		opt.MaxBatch = DefaultMaxBatch
 	}
 	if opt.MaxBatch < 1 {
-		return nil, fmt.Errorf("serve: New: MaxBatch %d < 1", opt.MaxBatch)
+		return opt, fmt.Errorf("serve: New: MaxBatch %d < 1", opt.MaxBatch)
 	}
 	if opt.MaxWait < 0 {
 		opt.MaxWait = DefaultMaxWait
@@ -159,14 +187,67 @@ func New(ck *checkpoint.Checkpoint, opt Options) (*Server, error) {
 		opt.MaxPending = DefaultMaxPending
 	}
 	if opt.RequestTimeout < 0 {
-		return nil, fmt.Errorf("serve: New: RequestTimeout %v < 0", opt.RequestTimeout)
+		return opt, fmt.Errorf("serve: New: RequestTimeout %v < 0", opt.RequestTimeout)
+	}
+	return opt, nil
+}
+
+// New rebuilds the checkpointed model and starts the batching dispatcher.
+// Decoupled architectures pay their propagation exactly once here, so the
+// construction cost covers all future queries.
+func New(ck *checkpoint.Checkpoint, opt Options) (*Server, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
 	}
 	m, err := ck.Model(opt.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("serve: New: %w", err)
 	}
+	return newServer(ck.Graph, m, ck.Arch, opt), nil
+}
+
+// NewFromModel starts a server over an already-built model bound to src.
+// The sharded serving layer uses it to put the batching dispatcher, metrics
+// and admission control in front of a shard-routed engine; single-process
+// callers normally go through New.
+func NewFromModel(src graph.NodeSource, m models.Model, arch string, opt Options) (*Server, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if src == nil || m == nil {
+		return nil, fmt.Errorf("serve: NewFromModel: nil source or model")
+	}
+	return newServer(src, m, arch, opt), nil
+}
+
+// NewFromFactors starts a decoupled server directly from a precomputed
+// embedding and head — no checkpoint or model rebuild. Each shard of a
+// sharded graph serves its local embedding slab this way: emb holds one row
+// per src node (shard-local ids), and the head weights are shared across
+// shards.
+func NewFromFactors(src graph.NodeSource, emb *matrix.Dense, head []models.HeadLayer, arch string, opt Options) (*Server, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if src == nil || emb == nil {
+		return nil, fmt.Errorf("serve: NewFromFactors: nil source or embedding")
+	}
+	if emb.Rows != src.NumNodes() {
+		return nil, fmt.Errorf("serve: NewFromFactors: embedding has %d rows for %d nodes", emb.Rows, src.NumNodes())
+	}
+	s := newServer(src, nil, arch, opt)
+	s.emb, s.head = emb, head
+	return s, nil
+}
+
+// newServer assembles a server over resolved options and starts its
+// dispatcher.
+func newServer(src graph.NodeSource, m models.Model, arch string, opt Options) *Server {
 	s := &Server{
-		g: ck.Graph, model: m, arch: ck.Arch, opt: opt,
+		src: src, model: m, arch: arch, opt: opt,
 		queue:   make(chan *request, 4*opt.MaxBatch),
 		quit:    make(chan struct{}),
 		stopped: make(chan struct{}),
@@ -176,17 +257,17 @@ func New(ck *checkpoint.Checkpoint, opt Options) (*Server, error) {
 	}
 	s.metrics.reset()
 	go s.dispatch()
-	return s, nil
+	return s
 }
 
 // Arch returns the served architecture's registry name.
 func (s *Server) Arch() string { return s.arch }
 
 // Nodes returns the number of servable nodes (the graph size).
-func (s *Server) Nodes() int { return s.g.N }
+func (s *Server) Nodes() int { return s.src.NumNodes() }
 
 // Classes returns the number of output classes.
-func (s *Server) Classes() int { return s.g.Classes }
+func (s *Server) Classes() int { return s.src.NumClasses() }
 
 // Decoupled reports whether queries ride the precomputed-embedding fast
 // path (true) or a per-window full propagation (false).
@@ -232,8 +313,8 @@ func (s *Server) predictCtx(ctx context.Context, nodes []int) ([]Prediction, err
 		return nil, fmt.Errorf("serve: Predict: empty node list")
 	}
 	for _, v := range nodes {
-		if v < 0 || v >= s.g.N {
-			return nil, fmt.Errorf("serve: Predict: node %d outside graph of %d nodes", v, s.g.N)
+		if v < 0 || v >= s.src.NumNodes() {
+			return nil, fmt.Errorf("serve: Predict: node %d outside graph of %d nodes", v, s.src.NumNodes())
 		}
 	}
 	// Admission control for Drain: the inflight increment must precede the
@@ -308,7 +389,7 @@ func (s *Server) predictCtx(ctx context.Context, nodes []int) ([]Prediction, err
 
 // PredictAll classifies every node of the graph — the full-graph warm path.
 func (s *Server) PredictAll() ([]Prediction, error) {
-	nodes := make([]int, s.g.N)
+	nodes := make([]int, s.src.NumNodes())
 	for i := range nodes {
 		nodes[i] = i
 	}
@@ -321,12 +402,7 @@ func (s *Server) Stats() Snapshot { return s.metrics.snapshot() }
 // Label returns node's ground-truth class and whether the serving graph
 // carries a label for it. The registry layer uses it for online-accuracy
 // accounting (per-model stats, A/B reports) without reaching into the graph.
-func (s *Server) Label(node int) (int, bool) {
-	if s.g.Labels == nil || node < 0 || node >= len(s.g.Labels) {
-		return 0, false
-	}
-	return s.g.Labels[node], true
-}
+func (s *Server) Label(node int) (int, bool) { return s.src.Label(node) }
 
 // Drain gracefully retires the server: new Predict calls are turned away
 // with ErrDraining (which wraps ErrClosed) immediately, every

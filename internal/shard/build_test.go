@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// buildPair constructs the same sharded graph twice — from the materialised
+// graph and from the edge stream — under one plan.
+func buildPair(t *testing.T, spec datasets.StreamSpec, shards int, kind sparse.NormKind) (*Sharded, *Sharded) {
+	t.Helper()
+	p, err := PlanFromStream(spec, shards, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStream, err := BuildFromStream(spec, p, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGraph, err := BuildFromGraph(spec.Materialize(), p, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fromStream, fromGraph
+}
+
+// TestStreamBuildMatchesGraphBuild is the tentpole equivalence: the
+// bounded-memory streaming builder must produce shards bit-equal to slicing
+// the materialised graph — same column spaces, same normalised adjacency
+// values, same features and labels — for every normalisation kind.
+func TestStreamBuildMatchesGraphBuild(t *testing.T) {
+	spec := datasets.DefaultStream(400, 21)
+	for _, kind := range []sparse.NormKind{sparse.NormSym, sparse.NormRW, sparse.NormReverse} {
+		st, gr := buildPair(t, spec, 4, kind)
+		if st.Features != gr.Features || st.Classes != gr.Classes || st.Norm != gr.Norm {
+			t.Fatalf("kind %v: dims differ", kind)
+		}
+		for i := range st.Shards {
+			a, b := st.Shards[i], gr.Shards[i]
+			if len(a.Nodes) != len(b.Nodes) || len(a.Cols) != len(b.Cols) {
+				t.Fatalf("kind %v shard %d: shape %d/%d vs %d/%d",
+					kind, i, len(a.Nodes), len(a.Cols), len(b.Nodes), len(b.Cols))
+			}
+			for j := range a.Cols {
+				if a.Cols[j] != b.Cols[j] {
+					t.Fatalf("kind %v shard %d: col %d is %d vs %d", kind, i, j, a.Cols[j], b.Cols[j])
+				}
+			}
+			if len(a.Adj.ColIdx) != len(b.Adj.ColIdx) {
+				t.Fatalf("kind %v shard %d: nnz %d vs %d", kind, i, len(a.Adj.ColIdx), len(b.Adj.ColIdx))
+			}
+			for k := range a.Adj.ColIdx {
+				if a.Adj.ColIdx[k] != b.Adj.ColIdx[k] || a.Adj.Val[k] != b.Adj.Val[k] {
+					t.Fatalf("kind %v shard %d: entry %d is (%d,%v) vs (%d,%v)",
+						kind, i, k, a.Adj.ColIdx[k], a.Adj.Val[k], b.Adj.ColIdx[k], b.Adj.Val[k])
+				}
+			}
+			for k := range a.X.Data {
+				if a.X.Data[k] != b.X.Data[k] {
+					t.Fatalf("kind %v shard %d: feature %d is %v vs %v", kind, i, k, a.X.Data[k], b.X.Data[k])
+				}
+			}
+			for j := range a.Labels {
+				if a.Labels[j] != b.Labels[j] {
+					t.Fatalf("kind %v shard %d: label %d is %d vs %d", kind, i, j, a.Labels[j], b.Labels[j])
+				}
+			}
+		}
+	}
+}
+
+// TestShardStructure checks the halo tables: every shard column is either
+// owned (indexed by colOfLocal) or a halo wired to its owner's local row,
+// and the byte accounting is positive and dominated by the largest shard.
+func TestShardStructure(t *testing.T) {
+	spec := datasets.DefaultStream(300, 2)
+	sh, _ := buildPair(t, spec, 3, sparse.NormSym)
+	for _, s := range sh.Shards {
+		owned := make(map[int]bool, len(s.Nodes))
+		for i, v := range s.Nodes {
+			pos := int(s.colOfLocal[i])
+			if s.Cols[pos] != v {
+				t.Fatalf("shard %d: colOfLocal[%d] -> col %d, want node %d", s.ID, i, s.Cols[pos], v)
+			}
+			owned[pos] = true
+		}
+		if len(s.halos) != len(s.Cols)-len(s.Nodes) {
+			t.Fatalf("shard %d: %d halos for %d cols / %d nodes", s.ID, len(s.halos), len(s.Cols), len(s.Nodes))
+		}
+		if s.Halo() != len(s.halos) {
+			t.Fatalf("shard %d: Halo() = %d, want %d", s.ID, s.Halo(), len(s.halos))
+		}
+		for _, h := range s.halos {
+			if owned[int(h.pos)] {
+				t.Fatalf("shard %d: halo at owned position %d", s.ID, h.pos)
+			}
+			v := s.Cols[h.pos]
+			o := sh.Shards[h.owner]
+			if int(h.owner) == s.ID || o.Cols[o.colOfLocal[sh.Plan.LocalID(v)]] != v || int(h.row) != int(o.colOfLocal[sh.Plan.LocalID(v)]) {
+				t.Fatalf("shard %d: halo for node %d miswired to shard %d row %d", s.ID, v, h.owner, h.row)
+			}
+		}
+		if s.Bytes() <= 0 {
+			t.Fatalf("shard %d: Bytes() = %d", s.ID, s.Bytes())
+		}
+	}
+	if sh.MaxShardBytes() > sh.Bytes() || sh.MaxShardBytes() <= 0 {
+		t.Fatalf("MaxShardBytes %d vs total %d", sh.MaxShardBytes(), sh.Bytes())
+	}
+}
+
+// TestBuildErrors covers the builders' validation paths.
+func TestBuildErrors(t *testing.T) {
+	spec := datasets.DefaultStream(100, 4)
+	g := spec.Materialize()
+	p, err := PlanFromStream(spec, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noX := graph.New(g.N, g.Edges, nil, g.Labels, g.Classes)
+	if _, err := BuildFromGraph(noX, p, sparse.NormSym); err == nil || !strings.Contains(err.Error(), "no features") {
+		t.Fatalf("featureless build: %v", err)
+	}
+	small := datasets.DefaultStream(99, 4)
+	if _, err := BuildFromGraph(small.Materialize(), p, sparse.NormSym); err == nil {
+		t.Fatal("expected plan/graph size mismatch")
+	}
+	if _, err := BuildFromStream(small, p, sparse.NormSym); err == nil {
+		t.Fatal("expected plan/spec size mismatch")
+	}
+	bad := spec
+	bad.Classes = 0
+	if _, err := BuildFromStream(bad, p, sparse.NormSym); err == nil {
+		t.Fatal("expected invalid-spec error")
+	}
+}

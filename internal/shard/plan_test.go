@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+// TestNewPlanValidation covers the ownership-vector contract: bad shard
+// counts, out-of-range owners and empty shards are all rejected.
+func TestNewPlanValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		owner  []int32
+		shards int
+		want   string
+	}{
+		{"zero shards", []int32{0}, 0, "< 1"},
+		{"more shards than nodes", []int32{0}, 2, "< 2 shards"},
+		{"negative owner", []int32{0, -1}, 2, "outside"},
+		{"owner too large", []int32{0, 2}, 2, "outside"},
+		{"empty shard", []int32{0, 0, 2}, 3, "owns no nodes"},
+	}
+	for _, tc := range cases {
+		if _, err := NewPlan(tc.owner, tc.shards); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestPlanMapping checks the plan invariants every consumer leans on: each
+// node is owned exactly once, local ids are dense ranks in ascending global
+// order, and NodesByShard inverts LocalID.
+func TestPlanMapping(t *testing.T) {
+	owner := []int32{1, 0, 1, 1, 0, 2, 2, 0}
+	p, err := NewPlan(owner, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != len(owner) || p.NumShards() != 3 {
+		t.Fatalf("N/NumShards = %d/%d", p.N(), p.NumShards())
+	}
+	total := 0
+	for s := 0; s < p.NumShards(); s++ {
+		total += p.Size(s)
+	}
+	if total != p.N() {
+		t.Fatalf("shard sizes sum to %d, want %d", total, p.N())
+	}
+	byShard := p.NodesByShard()
+	for s, nodes := range byShard {
+		for i, v := range nodes {
+			if p.Owner(v) != s || p.LocalID(v) != i {
+				t.Fatalf("node %d: owner/local = %d/%d, want %d/%d", v, p.Owner(v), p.LocalID(v), s, i)
+			}
+			if i > 0 && nodes[i-1] >= v {
+				t.Fatalf("shard %d nodes not ascending: %v", s, nodes)
+			}
+		}
+	}
+}
+
+// TestPlanFromGraph checks the METIS-planned ownership covers every node
+// with non-empty balanced-ish shards, and shards=1 yields the trivial plan.
+func TestPlanFromGraph(t *testing.T) {
+	g := datasets.DefaultStream(200, 3).Materialize()
+	p, err := PlanFromGraph(g, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumShards() != 4 || p.N() != g.N {
+		t.Fatalf("plan %d shards over %d nodes", p.NumShards(), p.N())
+	}
+	one, err := PlanFromGraph(g, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < one.N(); v++ {
+		if one.Owner(v) != 0 || one.LocalID(v) != v {
+			t.Fatalf("trivial plan: node %d -> %d/%d", v, one.Owner(v), one.LocalID(v))
+		}
+	}
+	if _, err := PlanFromGraph(g, 0, 7); err == nil {
+		t.Fatal("expected error for 0 shards")
+	}
+	if _, err := PlanFromGraph(g, g.N+1, 7); err == nil {
+		t.Fatal("expected error for more shards than nodes")
+	}
+}
+
+// TestPlanFromStream checks streamed planning covers every node, keeps
+// communities whole (nodes of one community share a shard) and rejects bad
+// inputs.
+func TestPlanFromStream(t *testing.T) {
+	spec := datasets.DefaultStream(300, 5)
+	p, err := PlanFromStream(spec, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != spec.Nodes || p.NumShards() != 4 {
+		t.Fatalf("plan %d shards over %d nodes", p.NumShards(), p.N())
+	}
+	commShard := make(map[int]int)
+	for v := 0; v < spec.Nodes; v++ {
+		c := spec.Community(v)
+		if s, ok := commShard[c]; ok && s != p.Owner(v) {
+			t.Fatalf("community %d split across shards %d and %d", c, s, p.Owner(v))
+		}
+		commShard[c] = p.Owner(v)
+	}
+	if _, err := PlanFromStream(spec, 0, 9); err == nil {
+		t.Fatal("expected error for 0 shards")
+	}
+	if _, err := PlanFromStream(spec, spec.NumCommunities()+1, 9); err == nil {
+		t.Fatal("expected error for more shards than communities")
+	}
+	bad := spec
+	bad.Nodes = 0
+	if _, err := PlanFromStream(bad, 2, 9); err == nil {
+		t.Fatal("expected error for invalid spec")
+	}
+}
+
+// TestPlanEncodeDecode checks the wire roundtrip is exact and every
+// corruption mode errors instead of panicking.
+func TestPlanEncodeDecode(t *testing.T) {
+	p, err := NewPlan([]int32{1, 0, 1, 2, 0, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := p.Encode()
+	got, err := DecodePlan(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumShards() != p.NumShards() || got.N() != p.N() {
+		t.Fatalf("roundtrip shape %d/%d", got.NumShards(), got.N())
+	}
+	for v := 0; v < p.N(); v++ {
+		if got.Owner(v) != p.Owner(v) || got.LocalID(v) != p.LocalID(v) {
+			t.Fatalf("roundtrip node %d: %d/%d != %d/%d",
+				v, got.Owner(v), got.LocalID(v), p.Owner(v), p.LocalID(v))
+		}
+	}
+
+	corrupt := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"huge node count", func(b []byte) []byte { b[12] = 0xff; b[18] = 0xff; return b }},
+		{"flipped owner", func(b []byte) []byte { b[21] ^= 0x01; return b }},
+		{"flipped crc", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }},
+	}
+	for _, tc := range corrupt {
+		if _, err := DecodePlan(tc.mut(p.Encode())); err == nil {
+			t.Errorf("%s: expected decode error", tc.name)
+		}
+	}
+	// An owner vector that decodes cleanly but violates plan invariants
+	// (empty shard) must also fail through NewPlan's checks.
+	q, err := NewPlan([]int32{0, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = q.Encode()
+	// Rewriting node 2's owner to 0 empties shard 1 and breaks the CRC; a
+	// recomputed CRC keeps the frame valid so the plan check must catch it.
+	if _, err := DecodePlan(reencodeOwner(buf, 2, 0)); err == nil {
+		t.Fatal("expected plan-invariant error")
+	}
+}
+
+// reencodeOwner rewrites node v's owner inside an encoded plan and fixes up
+// the CRC trailer, producing a frame-valid but possibly invariant-breaking
+// artifact.
+func reencodeOwner(buf []byte, v, owner int) []byte {
+	p, err := DecodePlan(buf)
+	if err != nil {
+		panic(err)
+	}
+	owners := append([]int32(nil), p.owner...)
+	owners[v] = int32(owner)
+	forged := &Plan{shards: p.shards, owner: owners}
+	return forged.Encode()
+}

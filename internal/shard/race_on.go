@@ -1,0 +1,8 @@
+//go:build race
+
+package shard
+
+// raceEnabled reports whether the race detector is compiled in; the scale
+// smoke test skips under it (instrumented 100k-node builds are minutes, and
+// the concurrency surface is covered by the small tests).
+const raceEnabled = true

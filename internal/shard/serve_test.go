@@ -1,0 +1,330 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/datasets"
+	"repro/internal/federated"
+	"repro/internal/matrix"
+	"repro/internal/models"
+	"repro/internal/partition"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+// trainedCheckpoint runs a tiny federation of arch over a scaled Cora and
+// packages the global model on the full graph (the serve package's fixture).
+func trainedCheckpoint(t testing.TB, arch string, seed int64) *checkpoint.Checkpoint {
+	t.Helper()
+	spec, err := datasets.ByName("Cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datasets.GenerateScaled(spec, 0.2, seed)
+	cd := partition.CommunitySplit(g, 3, rand.New(rand.NewSource(seed)))
+	cfg := models.DefaultConfig()
+	cfg.Hidden = 8
+	cfg.Dropout = 0
+	clients := federated.BuildClients(cd.Subgraphs, models.Registry[arch], cfg, seed)
+	opt := federated.DefaultOptions()
+	opt.Rounds = 3
+	opt.LocalEpochs = 1
+	res, err := federated.Run(clients, seed+1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := checkpoint.FromResult(res, arch, cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck
+}
+
+// predictAllLogits returns a Predictor's full-graph logits indexed by node.
+func predictAllLogits(t testing.TB, p serve.Predictor) [][]float64 {
+	t.Helper()
+	preds, err := p.PredictAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]float64, p.Nodes())
+	for _, pr := range preds {
+		out[pr.Node] = pr.Logits
+	}
+	return out
+}
+
+// TestDecoupledShardedBitIdentical is the serving half of the tentpole
+// claim: for every decoupled architecture, the shard-routed server answers
+// bit-identically to the single-process server at every shard count.
+func TestDecoupledShardedBitIdentical(t *testing.T) {
+	for _, arch := range []string{"SGC", "GAMLP", "MLP"} {
+		ck := trainedCheckpoint(t, arch, 23)
+		ref, err := serve.New(ck, serve.Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		want := predictAllLogits(t, ref)
+		ref.Close()
+		for _, shards := range []int{1, 2, 4} {
+			srv, err := NewServer(ck, shards, serve.Options{Seed: 1})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", arch, shards, err)
+			}
+			if !srv.Decoupled() {
+				t.Fatalf("%s/%d: Decoupled() = false", arch, shards)
+			}
+			got := predictAllLogits(t, srv)
+			for v := range want {
+				for j := range want[v] {
+					if got[v][j] != want[v][j] {
+						t.Fatalf("%s/%d shards: node %d logit %d: %v != %v",
+							arch, shards, v, j, got[v][j], want[v][j])
+					}
+				}
+			}
+			srv.Close()
+		}
+	}
+}
+
+// TestCoupledShardedInvariantAndClose checks the message-passing path: the
+// sharded GCN answer is one bit pattern at every shard count >= 2, agrees
+// with the unsharded server to kernel tolerance with identical argmax, and
+// one shard delegates to the plain server (trivially bit-identical).
+func TestCoupledShardedInvariantAndClose(t *testing.T) {
+	ck := trainedCheckpoint(t, "GCN", 37)
+	ref, err := serve.New(ck, serve.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := predictAllLogits(t, ref)
+	refPreds, err := ref.PredictAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+
+	one, err := NewServer(ck, 1, serve.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := one.(*serve.Server); !ok {
+		t.Fatalf("1 shard: got %T, want the plain *serve.Server", one)
+	}
+	got := predictAllLogits(t, one)
+	for v := range want {
+		for j := range want[v] {
+			if got[v][j] != want[v][j] {
+				t.Fatalf("1 shard: node %d logit %d differs", v, j)
+			}
+		}
+	}
+	one.Close()
+
+	var sharded [][]float64
+	for _, shards := range []int{2, 4} {
+		srv, err := NewServer(ck, shards, serve.Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		got := predictAllLogits(t, srv)
+		preds, err := srv.PredictAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sharded == nil {
+			sharded = got
+		} else {
+			for v := range sharded {
+				for j := range sharded[v] {
+					if got[v][j] != sharded[v][j] {
+						t.Fatalf("%d shards: node %d logit %d differs from 2-shard answer", shards, v, j)
+					}
+				}
+			}
+		}
+		for v := range want {
+			if preds[v].Class != refPreds[v].Class {
+				t.Fatalf("%d shards: node %d argmax %d, unsharded %d", shards, v, preds[v].Class, refPreds[v].Class)
+			}
+			for j := range want[v] {
+				if d := math.Abs(got[v][j] - want[v][j]); d > 1e-9 {
+					t.Fatalf("%d shards: node %d logit %d off by %g", shards, v, j, d)
+				}
+			}
+		}
+		srv.Close()
+	}
+}
+
+// TestShardedRouting exercises the router surface: mixed-shard query order,
+// global ids in answers, validation, labels, metadata, stats aggregation
+// and context deadlines.
+func TestShardedRouting(t *testing.T) {
+	ck := trainedCheckpoint(t, "SGC", 41)
+	p, err := NewServer(ck, 3, serve.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	srv := p.(*Server)
+
+	if srv.Arch() != "SGC" || srv.Nodes() != ck.Graph.N || srv.Classes() != ck.Graph.Classes {
+		t.Fatalf("metadata: %s %d/%d", srv.Arch(), srv.Nodes(), srv.Classes())
+	}
+	// A query striding across shards must come back in query order with
+	// global ids.
+	nodes := []int{srv.Nodes() - 1, 0, srv.Nodes() / 2, 1, srv.Nodes() / 3}
+	preds, err := srv.Predict(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range preds {
+		if pr.Node != nodes[i] {
+			t.Fatalf("answer %d is node %d, want %d", i, pr.Node, nodes[i])
+		}
+	}
+	if _, err := srv.Predict(nil); err == nil {
+		t.Fatal("expected empty-list error")
+	}
+	if _, err := srv.Predict([]int{-1}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := srv.Predict([]int{srv.Nodes()}); err == nil {
+		t.Fatal("expected range error")
+	}
+	for _, v := range nodes {
+		want, ok := srv.Label(v)
+		if !ok || want != ck.Graph.Labels[v] {
+			t.Fatalf("Label(%d) = %d,%v want %d", v, want, ok, ck.Graph.Labels[v])
+		}
+	}
+	if _, ok := srv.Label(-1); ok {
+		t.Fatal("Label(-1) should miss")
+	}
+	if _, ok := srv.Label(srv.Nodes()); ok {
+		t.Fatal("Label(N) should miss")
+	}
+
+	snap := srv.Stats()
+	if snap.Requests == 0 || snap.Nodes < uint64(len(nodes)) {
+		t.Fatalf("aggregated stats undercount: %+v", snap)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.PredictCtx(ctx, []int{0}); !errors.Is(err, serve.ErrDeadline) {
+		t.Fatalf("cancelled context: %v", err)
+	}
+}
+
+// TestShardedDrain checks graceful retirement propagates to every shard:
+// new queries are turned away, the server unwinds cleanly.
+func TestShardedDrain(t *testing.T) {
+	ck := trainedCheckpoint(t, "MLP", 43)
+	p, err := NewServer(ck, 2, serve.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict([]int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	p.Drain()
+	if _, err := p.Predict([]int{0}); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("post-drain predict: %v", err)
+	}
+	p.Close() // idempotent after Drain
+}
+
+// TestNewServerErrors covers the constructor validation paths.
+func TestNewServerErrors(t *testing.T) {
+	if _, err := NewServer(nil, 2, serve.Options{}); err == nil {
+		t.Fatal("expected nil-checkpoint error")
+	}
+	ck := trainedCheckpoint(t, "SGC", 47)
+	if _, err := NewServer(ck, ck.Graph.N+1, serve.Options{Seed: 1}); err == nil {
+		t.Fatal("expected oversized shard count error")
+	}
+	if _, err := NewServer(ck, 2, serve.Options{MaxBatch: -1}); err == nil {
+		t.Fatal("expected options error")
+	}
+}
+
+// TestNewFromPartsErrors covers the parts-constructor validation.
+func TestNewFromPartsErrors(t *testing.T) {
+	if _, err := NewFromParts(nil, "SGC", nil, models.EmbeddingSpec{}, serve.Options{}); err == nil {
+		t.Fatal("expected nil shard set error")
+	}
+	spec := datasets.DefaultStream(120, 7)
+	p, err := PlanFromStream(spec, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := BuildFromStream(spec, p, sparse.NormRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromParts(sh, "SGC", nil, models.EmbeddingSpec{Norm: sparse.NormSym}, serve.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "norm") {
+		t.Fatalf("norm mismatch: %v", err)
+	}
+	sh2, err := BuildFromStream(spec, p, sparse.NormSym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromParts(sh2, "SGC", nil, models.EmbeddingSpec{Hops: 1, HopWeights: []float64{1}}, serve.Options{}); err == nil {
+		t.Fatal("expected embedding recipe error")
+	}
+	if _, err := NewFromParts(sh2, "SGC", nil, models.EmbeddingSpec{}, serve.Options{MaxBatch: -2}); err == nil {
+		t.Fatal("expected options error")
+	}
+}
+
+// TestStreamServeMatchesGraphServe closes the loop on the streamed path:
+// shards built from the edge stream serve the same bits as shards built
+// from the materialised graph, behind the same head.
+func TestStreamServeMatchesGraphServe(t *testing.T) {
+	spec := datasets.DefaultStream(260, 53)
+	st, gr := buildPair(t, spec, 3, sparse.NormSym)
+	w := matrix.New(spec.Features, spec.Classes)
+	for i := range w.Data {
+		w.Data[i] = float64(i%9) - 4
+	}
+	head := []models.HeadLayer{{W: w, Bias: make([]float64, spec.Classes)}}
+	rec := models.EmbeddingSpec{Hops: 2, Norm: sparse.NormSym}
+	a, err := NewFromParts(st, "SGC", head, rec, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewFromParts(gr, "SGC", head, rec, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ga, gb := predictAllLogits(t, a), predictAllLogits(t, b)
+	for v := range ga {
+		for j := range ga[v] {
+			if ga[v][j] != gb[v][j] {
+				t.Fatalf("node %d logit %d: stream-built %v != graph-built %v", v, j, ga[v][j], gb[v][j])
+			}
+		}
+	}
+}
+
+// TestWindowModelBackwardPanics pins the inference-only contract.
+func TestWindowModelBackwardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&windowModel{}).Backward(nil)
+}
