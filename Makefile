@@ -30,18 +30,18 @@ test:
 # Race-detector coverage of the concurrent paths (worker pool, federated
 # fan-out incl. fault injection, chaos scenarios, AdaFGL Step-2 fan-out,
 # parallel kernels, serving batcher, model registry swap/acquire, partition
-# determinism across worker counts, sharded routing fan-out), matching the
-# CI "race" job.
+# determinism across worker counts, sharded routing fan-out, telemetry
+# instruments under concurrent mutation), matching the CI "race" job.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/scenario/... ./internal/core/... ./internal/matrix/... ./internal/sparse/... ./internal/checkpoint/... ./internal/serve/... ./internal/registry/... ./internal/partition/... ./internal/shard/...
+	$(GO) test -race ./internal/parallel/... ./internal/federated/... ./internal/scenario/... ./internal/core/... ./internal/matrix/... ./internal/sparse/... ./internal/checkpoint/... ./internal/serve/... ./internal/registry/... ./internal/partition/... ./internal/shard/... ./internal/telemetry/...
 
-# Coverage floor on the numeric kernel, federation, serving and sharding
-# packages, matching the CI "coverage" job: internal/matrix + internal/sparse
-# + internal/federated + internal/scenario + internal/serve +
-# internal/registry + internal/partition + internal/shard must stay at
-# >= 90% statements.
+# Coverage floor on the numeric kernel, federation, serving, sharding and
+# telemetry packages, matching the CI "coverage" job: internal/matrix +
+# internal/sparse + internal/federated + internal/scenario + internal/serve +
+# internal/registry + internal/partition + internal/shard +
+# internal/telemetry must stay at >= 90% statements.
 cover:
-	@$(GO) test -coverprofile=cover.out ./internal/matrix ./internal/sparse ./internal/federated ./internal/scenario ./internal/serve ./internal/registry ./internal/partition ./internal/shard
+	@$(GO) test -coverprofile=cover.out ./internal/matrix ./internal/sparse ./internal/federated ./internal/scenario ./internal/serve ./internal/registry ./internal/partition ./internal/shard ./internal/telemetry
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 	echo "kernel coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 < 90) ? 1 : 0 }' || \

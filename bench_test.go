@@ -15,13 +15,16 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/checkpoint"
 	"repro/internal/federated"
 	"repro/internal/matrix"
 	"repro/internal/models"
 	"repro/internal/parallel"
 	"repro/internal/partition"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 
 	"repro/internal/datasets"
 )
@@ -389,6 +392,66 @@ func BenchmarkShardScale(b *testing.B) {
 			}
 			b.ReportMetric(float64(sh.MaxShardBytes()), "max-shard-bytes")
 			b.ReportMetric(float64(halo), "halo-cols")
+		})
+	}
+}
+
+// BenchmarkObsOverhead tracks the hot-path cost of the telemetry layer in the
+// smoke-bench artifact: one op is a full DefaultMaxBatch-node window Predict
+// against a live SGC server — the cheapest per-window engine, hence the most
+// overhead-sensitive — run with the instruments disabled (path=notelemetry,
+// the baseline benchjson groups against) and fully enabled (path=telemetry).
+// The enabled row's speedup in BENCH_smoke.json is its fraction of baseline
+// throughput; drifting below ~0.97 means the instruments grew past the 3%
+// budget `adafgl-bench -exp obs` enforces. The engine runs single-worker so
+// pool-scheduling noise cannot drown the nanosecond-scale instrument costs.
+func BenchmarkObsOverhead(b *testing.B) {
+	spec, err := datasets.ByName("Cora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := datasets.GenerateScaled(spec, 0.5, 7)
+	cd := partition.CommunitySplit(g, 5, rand.New(rand.NewSource(7)))
+	cfg := models.DefaultConfig()
+	clients := federated.BuildClients(cd.Subgraphs, models.Registry["SGC"], cfg, 7)
+	o := federated.DefaultOptions()
+	o.Rounds = 3
+	res, err := federated.Run(clients, 8, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ck, err := checkpoint.FromResult(res, "SGC", cfg, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(ck, serve.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	span := serve.DefaultMaxBatch
+	if span > srv.Nodes() {
+		span = srv.Nodes()
+	}
+	nodes := make([]int, span)
+	origWorkers := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(origWorkers)
+	for _, mode := range []struct {
+		path string
+		on   bool
+	}{{"notelemetry", false}, {"telemetry", true}} {
+		b.Run(fmt.Sprintf("arch=SGC/window=%d/path=%s", span, mode.path), func(b *testing.B) {
+			telemetry.SetEnabled(mode.on)
+			defer telemetry.SetEnabled(true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range nodes {
+					nodes[j] = (i*span + j) % srv.Nodes()
+				}
+				if _, err := srv.Predict(nodes); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -27,6 +27,15 @@
 // -read-header-timeout, -read-timeout and -idle-timeout harden the listener
 // against slow or stuck connections.
 //
+// Observability: logs go to stderr via log/slog (-log-format json switches to
+// one JSON object per line); 5xx responses are logged with the request's
+// trace ID (X-Trace-Id, honoured when the client sends one). GET /v1/metrics
+// exposes the process-wide telemetry registry in Prometheus text format,
+// including Go runtime gauges. -pprof-addr starts a side listener with the
+// standard net/http/pprof handlers plus GET /debug/runtime, a JSON snapshot
+// of every scalar runtime/metrics sample. Telemetry never alters results:
+// predictions are bit-identical with it enabled or disabled.
+//
 // Endpoints (see internal/registry for the full contract):
 //
 //	GET  /v1/models                      registered artifacts + metadata
@@ -39,6 +48,7 @@
 //	GET  /v1/ab/report                   online accuracy/latency per arm
 //	GET  /v1/healthz                     fleet liveness (always 200) + readiness summary
 //	GET  /v1/readyz                      readiness probe (503 until something can serve)
+//	GET  /v1/metrics                     Prometheus text exposition
 //
 //	/predict, /predict/all, /healthz, /stats — deprecated aliases onto the
 //	default model (Deprecation + Link headers point at the v1 successors).
@@ -53,11 +63,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -66,7 +78,63 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/registry"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
+
+// newLogger builds the process logger on stderr in the selected format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+// statusWriter captures the response status so the error log can report it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// logErrors logs every 5xx response with its trace ID. It wraps OUTSIDE the
+// registry handler, whose TraceHTTP middleware stamps X-Trace-Id on the
+// response before the handlers run, so the ID is available here afterwards.
+func logErrors(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		if sw.status >= 500 {
+			logger.Error("request failed",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"trace", w.Header().Get(telemetry.TraceHeader))
+		}
+	})
+}
+
+// pprofMux builds the -pprof-addr side surface: the standard net/http/pprof
+// handlers plus a JSON snapshot of every scalar runtime/metrics sample.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(telemetry.RuntimeSnapshot())
+	})
+	return mux
+}
 
 func main() {
 	var (
@@ -89,9 +157,20 @@ func main() {
 		readHdrWait = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout: max wait for request headers (slowloris guard)")
 		readWait    = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: max wait for a full request read")
 		idleWait    = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: max keep-alive idle time per connection")
+
+		logFormat = flag.String("log-format", "text", "log output format: text or json (one object per line)")
+		pprofAddr = flag.String("pprof-addr", "", "side listen address for net/http/pprof and /debug/runtime (empty disables)")
 	)
 	flag.Parse()
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 	parallel.SetWorkers(*workers)
+	telemetry.RegisterRuntimeGauges(telemetry.Default())
 	if *ckptPath == "" && *modelDir == "" {
 		fmt.Fprintln(os.Stderr, "missing -ckpt or -model-dir")
 		flag.Usage()
@@ -117,33 +196,46 @@ func main() {
 	start := time.Now()
 	if *modelDir != "" {
 		if _, err := reg.LoadDir(*modelDir); err != nil {
-			log.Fatal(err)
+			logger.Error("model-dir scan failed", "dir", *modelDir, "error", err)
+			os.Exit(1)
 		}
 		for _, q := range reg.Quarantined() {
-			log.Printf("! quarantined %s (%s): %s", q.Path, q.Reason, q.Error)
+			logger.Warn("quarantined artifact",
+				"path", q.Path, "reason", q.Reason, "error", q.Error)
 		}
 	}
 	if *ckptPath != "" {
 		if _, err := reg.AddFile(*ckptPath); err != nil {
-			log.Fatal(err)
+			logger.Error("checkpoint load failed", "path", *ckptPath, "error", err)
+			os.Exit(1)
 		}
 	}
 	infos := reg.List()
 	for _, info := range infos {
-		active := " "
-		if info.Active {
-			active = "*"
-		}
-		log.Printf("%s %s@%d  %-5s %d nodes / %d classes / %d params (%s)",
-			active, info.Name, info.Version, info.Arch, info.Nodes, info.Classes,
-			info.Params, info.Path)
+		logger.Info("registered model",
+			"model", fmt.Sprintf("%s@%d", info.Name, info.Version),
+			"active", info.Active, "arch", info.Arch,
+			"nodes", info.Nodes, "classes", info.Classes,
+			"params", info.Params, "path", info.Path)
 	}
-	log.Printf("registered %d artifacts in %v (max %d loaded, batch window: %d nodes / %v)",
-		len(infos), time.Since(start).Round(time.Millisecond), *maxLoaded, *batch, *batchWait)
+	logger.Info("registry ready",
+		"artifacts", len(infos),
+		"elapsed", time.Since(start).Round(time.Millisecond).String(),
+		"max_loaded", *maxLoaded, "batch", *batch, "batch_wait", batchWait.String())
+
+	if *pprofAddr != "" {
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: pprofMux(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "error", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           reg.Handler(),
+		Handler:           logErrors(logger, reg.Handler()),
 		ReadHeaderTimeout: *readHdrWait,
 		ReadTimeout:       *readWait,
 		IdleTimeout:       *idleWait,
@@ -153,22 +245,23 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("listener failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
 	// Graceful shutdown: stop accepting, give in-flight HTTP requests a
 	// deadline, then drain every model's batch queue via the registry.
-	log.Printf("shutting down (grace %v)", *grace)
+	logger.Info("shutting down", "grace", grace.String())
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), *grace)
 	defer shutCancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
 	}
 	reg.Close()
-	log.Printf("drained; bye")
+	logger.Info("drained; bye")
 }

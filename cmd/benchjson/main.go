@@ -5,7 +5,10 @@
 // sibling baseline kernel (path=naive for the GEMM sweep, path=rowstream or
 // path=rebuild for the SpMM sweeps, path=single for the serving-batcher
 // sweep, path=direct for the registry-routing sweep, path=whole for the
-// shard-scale sweep). Custom metrics a
+// shard-scale sweep, path=notelemetry for the telemetry-overhead sweep —
+// there the enabled row's speedup is its fraction of uninstrumented
+// throughput, so values near 1.0 mean the instruments stay inside their
+// budget). Custom metrics a
 // benchmark emits via b.ReportMetric (e.g. the torture harness's shed-rate
 // and p99-ns) land in the record's "extra" map keyed by unit. CI runs it on
 // the smoke-bench output so
@@ -58,7 +61,7 @@ var metricPair = regexp.MustCompile(`([0-9.eE+-]+) ([^\s]+)`)
 
 // baselinePaths are the path= values treated as the reference kernel of
 // their sweep.
-var baselinePaths = map[string]bool{"naive": true, "rowstream": true, "rebuild": true, "single": true, "direct": true, "whole": true}
+var baselinePaths = map[string]bool{"naive": true, "rowstream": true, "rebuild": true, "single": true, "direct": true, "whole": true, "notelemetry": true}
 
 func main() {
 	in := flag.String("in", "bench-smoke.txt", "go test -bench output to parse")

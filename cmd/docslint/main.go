@@ -4,10 +4,11 @@
 //  1. Every package under internal/ must carry a package comment
 //     ("// Package <name> ..." on some file's package clause).
 //  2. Strict packages (the shared substrate other layers build on:
-//     internal/federated, internal/sparse, internal/matrix,
-//     internal/parallel, plus the serving surface internal/checkpoint,
-//     internal/serve and internal/registry) must additionally document
-//     every exported
+//     internal/federated, internal/scenario, internal/sparse,
+//     internal/matrix, internal/parallel, the serving surface
+//     internal/checkpoint, internal/serve, internal/registry,
+//     internal/partition and internal/shard, plus the observability layer
+//     internal/telemetry) must additionally document every exported
 //     top-level identifier — funcs, methods with exported receivers,
 //     types, consts and vars.
 //
@@ -47,6 +48,7 @@ var strictDirs = map[string]bool{
 	"internal/registry":   true,
 	"internal/partition":  true,
 	"internal/shard":      true,
+	"internal/telemetry":  true,
 }
 
 func main() {

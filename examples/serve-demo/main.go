@@ -3,6 +3,8 @@
 // batched inference server from the file, expose it over HTTP on a loopback
 // port and fire 1000 concurrent node-classification queries at it — every
 // HTTP answer is cross-checked bit-for-bit against the in-process Go API.
+// The /metrics endpoint is then scraped and its Prometheus exposition
+// validated structurally, with the serving-layer families required present.
 // `make serve-demo` runs exactly this.
 package main
 
@@ -10,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // queries is the concurrent load of the field check.
@@ -155,4 +159,34 @@ func main() {
 	fmt.Printf("server metrics: %d requests / %d batches (mean batch %.1f), p50 %v, p99 %v\n",
 		st.Requests, st.Batches, st.MeanBatch, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
 	fmt.Println("all HTTP answers bit-identical to the in-process API: ok")
+
+	// 5. Scrape /metrics after the storm: the exposition must parse as
+	// Prometheus text format and carry the serving-layer families the storm
+	// just exercised — a malformed scrape fails the demo.
+	resp, err := client.Get(fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if err := telemetry.CheckExposition(expo); err != nil {
+		log.Fatalf("/metrics exposition malformed: %v", err)
+	}
+	for _, fam := range []string{
+		"adafgl_serve_requests_total",
+		"adafgl_serve_batches_total",
+		"adafgl_serve_request_latency_seconds",
+		"adafgl_parallel_pool_tasks_total",
+	} {
+		if !telemetry.HasFamily(expo, fam) {
+			log.Fatalf("/metrics missing family %s", fam)
+		}
+	}
+	fmt.Printf("scraped /metrics: %d bytes, exposition valid, serving families present\n", len(expo))
 }

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/federated"
+	"repro/internal/models"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// obsReps is how many paired repetitions the overhead measurement runs; each
+// times both modes back-to-back and the median on/off ratio is reported,
+// which discards noise bursts confined to single repetitions.
+const obsReps = 7
+
+// obsQueries is the sequential full-window request count per repetition:
+// each request queries DefaultMaxBatch nodes, so every request is exactly
+// one batch window — the unit of engine work the serving layer is built
+// around, and the scale instrumentation cost must be judged against.
+const obsQueries = 800
+
+// obsChunk is how many windows each timed slice runs before the modes swap;
+// at roughly a millisecond per slice, noise bursts span both modes of a pair
+// instead of skewing one.
+const obsChunk = 25
+
+// obsMaxOverheadPct is the acceptance ceiling on hot-path instrumentation
+// overhead (the ISSUE's <= 3% budget).
+const obsMaxOverheadPct = 3.0
+
+// obsCoreFamilies are the metric families every instrumented layer must
+// expose; their presence in one scrape proves the registrations are linked.
+var obsCoreFamilies = []string{
+	"adafgl_serve_requests_total",
+	"adafgl_serve_request_latency_seconds",
+	"adafgl_registry_cold_starts_total",
+	"adafgl_shard_exchange_total",
+	"adafgl_federated_rounds_total",
+	"adafgl_parallel_pool_tasks_total",
+}
+
+// Obs proves the telemetry layer's two contracts. Correctness: with metrics
+// and tracing fully enabled, served predictions and a short federated
+// training run are bit-identical to a telemetry-disabled run, and the
+// Prometheus exposition is structurally valid with every layer's core
+// families present. Cost: the enabled instruments add at most
+// obsMaxOverheadPct to the hot serve path, measured as the median paired
+// enabled/disabled ratio over storms of sequential full-window requests on
+// an SGC server (the cheapest per-window engine, hence the most
+// overhead-sensitive).
+func Obs(s Scale) ([]string, error) {
+	defer telemetry.SetEnabled(telemetry.SetEnabled(true))
+	factor := s.Factor
+	if factor <= 0 {
+		factor = 0.5 // quickstart scale
+	}
+	ck, err := serveCheckpoint("SGC", factor, s)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bit-identity, serving: the same concurrent load with telemetry on and
+	// off must answer every node with bitwise-equal logits.
+	opt := serve.Options{MaxBatch: serveConc, MaxWait: 2 * time.Millisecond, Seed: s.Seed}
+	_, onPreds, err := serveLoad(ck, opt)
+	if err != nil {
+		return nil, err
+	}
+	telemetry.SetEnabled(false)
+	_, offPreds, err := serveLoad(ck, opt)
+	telemetry.SetEnabled(true)
+	if err != nil {
+		return nil, err
+	}
+	if err := comparePreds(onPreds, offPreds); err != nil {
+		return nil, fmt.Errorf("bench: obs: serve telemetry on vs off: %w", err)
+	}
+
+	// Bit-identity, training: a short federated run repeated under both
+	// telemetry states must land on bitwise-equal global parameters.
+	onParams, err := obsFedRun(s, factor, true)
+	if err != nil {
+		return nil, err
+	}
+	offParams, err := obsFedRun(s, factor, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(onParams) != len(offParams) {
+		return nil, fmt.Errorf("bench: obs: federated param dims differ: %d vs %d", len(onParams), len(offParams))
+	}
+	for i := range onParams {
+		if onParams[i] != offParams[i] {
+			return nil, fmt.Errorf("bench: obs: federated param %d differs bitwise: %v vs %v", i, onParams[i], offParams[i])
+		}
+	}
+
+	// Overhead: sequential full-window requests against one live server,
+	// alternating modes within every repetition so drift hits both equally.
+	// The engine runs single-worker for the measurement: pool scheduling
+	// noise would otherwise dwarf the nanosecond-scale instrument costs,
+	// and the per-request telemetry path is identical for every worker
+	// count.
+	defer parallel.SetWorkers(parallel.SetWorkers(1))
+	srv, err := serve.New(ck, serve.Options{Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	span := serve.DefaultMaxBatch
+	if span > srv.Nodes() {
+		span = srv.Nodes()
+	}
+	nodes := make([]int, span)
+	chunk := func(on bool, q0, k int) (time.Duration, error) {
+		telemetry.SetEnabled(on)
+		defer telemetry.SetEnabled(true)
+		start := time.Now()
+		for q := q0; q < q0+k; q++ {
+			for i := range nodes {
+				nodes[i] = (q*span + i) % srv.Nodes()
+			}
+			if _, err := srv.Predict(nodes); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	// One discarded warmup pass per mode heats caches, page tables and CPU
+	// frequency before anything is timed — cold first invocations otherwise
+	// land in the measurement.
+	for _, on := range []bool{false, true} {
+		if _, err := chunk(on, 0, obsQueries); err != nil {
+			return nil, err
+		}
+	}
+	// The two modes alternate in millisecond-scale chunks of obsChunk windows
+	// (order flipping per chunk and per rep) so scheduler or VM noise bursts
+	// span both modes of a pair instead of landing in one 30ms mode-block.
+	// Each repetition's accumulated on/off ratio is one sample; the median
+	// over obsReps is the overhead estimate, robust against reps that catch a
+	// sustained burst.
+	ratios := make([]float64, 0, obsReps)
+	total := map[bool]time.Duration{}
+	for rep := 0; rep < obsReps; rep++ {
+		times := map[bool]time.Duration{}
+		for q := 0; q < obsQueries; q += obsChunk {
+			k := obsChunk
+			if q+k > obsQueries {
+				k = obsQueries - q
+			}
+			order := []bool{false, true}
+			if (rep+q/obsChunk)%2 == 1 {
+				order[0], order[1] = order[1], order[0]
+			}
+			for _, on := range order {
+				d, err := chunk(on, q, k)
+				if err != nil {
+					return nil, err
+				}
+				times[on] += d
+			}
+		}
+		total[false] += times[false]
+		total[true] += times[true]
+		ratios = append(ratios, times[true].Seconds()/times[false].Seconds())
+	}
+	sort.Float64s(ratios)
+	overheadPct := 100 * (ratios[len(ratios)/2] - 1)
+	if overheadPct > obsMaxOverheadPct {
+		return nil, fmt.Errorf("bench: obs: telemetry overhead %.2f%% exceeds %.1f%% budget (median of %d chunk-interleaved reps; total on %v vs off %v)",
+			overheadPct, obsMaxOverheadPct, obsReps, total[true], total[false])
+	}
+
+	// Exposition: one scrape of the process registry must be structurally
+	// valid and cover every instrumented layer.
+	var buf bytes.Buffer
+	if err := telemetry.Default().WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	if err := telemetry.CheckExposition(buf.Bytes()); err != nil {
+		return nil, fmt.Errorf("bench: obs: exposition invalid: %w", err)
+	}
+	for _, famName := range obsCoreFamilies {
+		if !telemetry.HasFamily(buf.Bytes(), famName) {
+			return nil, fmt.Errorf("bench: obs: exposition missing family %s", famName)
+		}
+	}
+	seen, kept := telemetry.DefaultTracer().Stats()
+
+	return []string{
+		fmt.Sprintf("Observability: telemetry on vs off, SGC nodes=%d, %d sequential %d-node windows x %d paired reps",
+			ck.Graph.N, obsQueries, span, obsReps),
+		fmt.Sprintf("serve  preds bit-identical over %d nodes; federated params bit-identical over dim %d",
+			len(onPreds), len(onParams)),
+		fmt.Sprintf("hot path  off=%-8v on=%-8v overhead %+.2f%% median of %d chunk-interleaved reps (budget %.1f%%)",
+			total[false].Round(time.Microsecond), total[true].Round(time.Microsecond), overheadPct, obsReps, obsMaxOverheadPct),
+		fmt.Sprintf("exposition %d bytes valid; %d core families present; tracer %d/%d spans kept",
+			buf.Len(), len(obsCoreFamilies), kept, seen),
+	}, nil
+}
+
+// obsFedRun executes the short training run of the bit-identity pair under
+// the given telemetry state and returns the final global parameters.
+func obsFedRun(s Scale, factor float64, enabled bool) ([]float64, error) {
+	telemetry.SetEnabled(enabled)
+	defer telemetry.SetEnabled(true)
+	spec, err := datasets.ByName("Cora")
+	if err != nil {
+		return nil, err
+	}
+	g := datasets.GenerateScaled(spec, factor, s.Seed)
+	cd := partition.CommunitySplit(g, 5, rand.New(rand.NewSource(s.Seed+101)))
+	clients := federated.BuildClients(cd.Subgraphs, models.Registry["SGC"], s.cfg(), s.Seed)
+	opt := s.fedOpts(s.Seed)
+	if opt.Rounds > 5 {
+		opt.Rounds = 5 // the pair only needs enough rounds to exercise the loop
+	}
+	res, err := federated.Run(clients, s.Seed+1, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.GlobalParams, nil
+}

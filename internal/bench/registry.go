@@ -39,6 +39,7 @@ var Experiments = map[string]Experiment{
 	"zoo":     {"zoo", "Micro: multi-model registry serving, routing overhead + live A/B", Zoo},
 	"torture": {"torture", "Torture: HTTP serving resilience under overload/deadline/panic/corrupt scenarios", Torture},
 	"shard":   {"shard", "Scale: streamed million-node graph sharding, memory/throughput linearity + bit-identity", ShardExp},
+	"obs":     {"obs", "Micro: telemetry bit-identity (serve + federated) and hot-path overhead budget", Obs},
 }
 
 // IDs returns the experiment ids sorted.

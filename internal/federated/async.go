@@ -366,6 +366,11 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 		buffer = buffer[:0]
 		res.RoundTime = append(res.RoundTime, now)
 		globals = append(globals, global)
+		meanStale := 0.0
+		if staleCount > 0 {
+			meanStale = staleSum / float64(staleCount)
+		}
+		recordCommit(staleCount, res.DroppedUpdates, meanStale)
 		if commit+1 < opt.Rounds {
 			// Re-broadcast to every idle sampled participant; busy clients
 			// keep training on their stale snapshot. One permutation per
@@ -402,7 +407,9 @@ func (s *AsyncServer) Run(opt Options) (*Result, error) {
 		res.MeanStaleness = staleSum / float64(staleCount)
 	}
 	for _, g := range globals {
-		res.RoundAcc = append(res.RoundAcc, evalGlobal(s.Clients, g))
+		acc := evalGlobal(s.Clients, g)
+		res.RoundAcc = append(res.RoundAcc, acc)
+		telRoundAcc.Set(acc)
 	}
 	res.GlobalParams = global
 	if err := finalize(s.Clients, global, opt, res); err != nil {

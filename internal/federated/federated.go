@@ -292,7 +292,10 @@ func (s *Server) Run(opt Options) (*Result, error) {
 		if noise != nil {
 			noise.add(global)
 		}
-		res.RoundAcc = append(res.RoundAcc, evalGlobal(s.Clients, global))
+		acc := evalGlobal(s.Clients, global)
+		res.RoundAcc = append(res.RoundAcc, acc)
+		recordCommit((round+1)*nPart, 0, 0)
+		telRoundAcc.Set(acc)
 	}
 	res.DispatchedUpdates = nPart * opt.Rounds
 	res.CommittedUpdates = res.DispatchedUpdates

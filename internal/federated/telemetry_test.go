@@ -1,0 +1,69 @@
+package federated
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryBitIdentical is the observation-only contract at the training
+// layer: the same federated run executed with telemetry enabled and disabled
+// must land on bitwise-equal global parameters and round curves. The
+// instruments may count, gauge and time — they may never touch an RNG or a
+// float the training pipeline reads.
+func TestTelemetryBitIdentical(t *testing.T) {
+	o := DefaultOptions()
+	o.Rounds = 3
+	o.LocalEpochs = 1
+
+	run := func(enabled bool) *Result {
+		t.Helper()
+		defer telemetry.SetEnabled(telemetry.SetEnabled(enabled))
+		res, err := Run(coraClients(t, 3, 17), 18, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	on := run(true)
+	off := run(false)
+
+	if len(on.GlobalParams) != len(off.GlobalParams) {
+		t.Fatalf("param dims differ: %d vs %d", len(on.GlobalParams), len(off.GlobalParams))
+	}
+	for i := range on.GlobalParams {
+		if on.GlobalParams[i] != off.GlobalParams[i] {
+			t.Fatalf("GlobalParams[%d]: on %v != off %v", i, on.GlobalParams[i], off.GlobalParams[i])
+		}
+	}
+	if len(on.RoundAcc) != len(off.RoundAcc) {
+		t.Fatalf("round counts differ: %d vs %d", len(on.RoundAcc), len(off.RoundAcc))
+	}
+	for r := range on.RoundAcc {
+		if on.RoundAcc[r] != off.RoundAcc[r] {
+			t.Fatalf("RoundAcc[%d]: on %v != off %v", r, on.RoundAcc[r], off.RoundAcc[r])
+		}
+	}
+}
+
+// TestTelemetryRoundCounter covers the federated families: an enabled run
+// advances the rounds counter by its round count and leaves the accuracy
+// gauge on the final round's value.
+func TestTelemetryRoundCounter(t *testing.T) {
+	defer telemetry.SetEnabled(telemetry.SetEnabled(true))
+	o := DefaultOptions()
+	o.Rounds = 3
+	o.LocalEpochs = 1
+
+	before := telRounds.Value()
+	res, err := Run(coraClients(t, 3, 19), 20, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := telRounds.Value() - before; got != uint64(o.Rounds) {
+		t.Errorf("rounds counter advanced by %d, want %d", got, o.Rounds)
+	}
+	if want := res.RoundAcc[len(res.RoundAcc)-1]; telRoundAcc.Value() != want {
+		t.Errorf("round-accuracy gauge = %v, want final round %v", telRoundAcc.Value(), want)
+	}
+}

@@ -65,6 +65,7 @@ func NewPool(n int) *Pool {
 			defer p.workers.Done()
 			for fn := range p.tasks {
 				fn()
+				telPoolTasks.Inc()
 			}
 		}()
 	}
@@ -92,6 +93,7 @@ func (p *Pool) TrySubmit(fn func()) bool {
 func (p *Pool) Submit(fn func()) {
 	if !p.TrySubmit(fn) {
 		fn()
+		telInlineTasks.Inc()
 	}
 }
 
@@ -105,6 +107,7 @@ func (p *Pool) runOne() bool {
 			return false
 		}
 		fn()
+		telPoolTasks.Inc()
 		return true
 	default:
 		return false
@@ -132,7 +135,10 @@ var (
 )
 
 func sharedPool() *Pool {
-	sharedOnce.Do(func() { shared = NewPool(runtime.GOMAXPROCS(0)) })
+	sharedOnce.Do(func() {
+		shared = NewPool(runtime.GOMAXPROCS(0))
+		sharedPtr.Store(shared)
+	})
 	return shared
 }
 

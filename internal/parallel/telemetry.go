@@ -1,0 +1,47 @@
+package parallel
+
+// Telemetry for the parallel substrate. Counters record where tasks actually
+// ran (pool worker vs inline on the submitter); the gauges sample the shared
+// pool's live queue depth and the process worker setting. Everything is
+// observation-only: nothing here feeds scheduling decisions, and For's block
+// layout stays a pure function of (n, grain, Workers()).
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// sharedPtr mirrors the shared pool for lock-free gauge sampling; it is set
+// exactly once, inside sharedOnce.Do.
+var sharedPtr atomic.Pointer[Pool]
+
+var (
+	// telPoolTasks / telInlineTasks count task executions by venue. Inline
+	// runs (queue full or pool closed) are the back-pressure signal: a high
+	// inline share means the pool is saturated.
+	telPoolTasks = telemetry.Default().Counter(
+		"adafgl_parallel_pool_tasks_total",
+		"Tasks executed by pool worker goroutines.")
+	telInlineTasks = telemetry.Default().Counter(
+		"adafgl_parallel_inline_tasks_total",
+		"Tasks executed inline on the submitting goroutine (pool saturated or closed).")
+)
+
+// The gauges sample live state at scrape time: the shared pool's queued-task
+// backlog (0 until the pool first starts) and the SetWorkers setting.
+func init() {
+	telemetry.Default().GaugeFunc(
+		"adafgl_parallel_queue_depth",
+		"Queued tasks in the shared pool at scrape time.",
+		func() float64 {
+			if p := sharedPtr.Load(); p != nil {
+				return float64(len(p.tasks))
+			}
+			return 0
+		})
+	telemetry.Default().GaugeFunc(
+		"adafgl_parallel_workers",
+		"Process-wide parallel worker count (SetWorkers).",
+		func() float64 { return float64(Workers()) })
+}

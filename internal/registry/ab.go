@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 
@@ -95,7 +96,7 @@ func ABRoute(cfg ABConfig, node int) bool {
 // nodes are partitioned by the deterministic hash, each non-empty arm runs
 // one predict on its model's active version, per-arm counters are updated,
 // and the answers are merged back into request order.
-func (r *Registry) predictAB(cfg ABConfig, nodes []int) ([]serve.Prediction, error) {
+func (r *Registry) predictAB(ctx context.Context, cfg ABConfig, nodes []int) ([]serve.Prediction, error) {
 	var ctrlNodes, candNodes []int
 	var ctrlPos, candPos []int
 	for i, n := range nodes {
@@ -107,12 +108,14 @@ func (r *Registry) predictAB(cfg ABConfig, nodes []int) ([]serve.Prediction, err
 			ctrlPos = append(ctrlPos, i)
 		}
 	}
+	telABNodes.With("control").Add(uint64(len(ctrlNodes)))
+	telABNodes.With("candidate").Add(uint64(len(candNodes)))
 	out := make([]serve.Prediction, len(nodes))
 	run := func(name string, armNodes, pos []int, arm func(*abState) *modelStats) error {
 		if len(armNodes) == 0 {
 			return nil
 		}
-		preds, labelled, correct, lat, err := r.predictOn(name, 0, armNodes)
+		preds, labelled, correct, lat, err := r.predictOn(ctx, name, 0, armNodes)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // legacyRefKey carries the default-model reference into handlers reached
@@ -116,7 +117,7 @@ func (r *Registry) handlePredict(w http.ResponseWriter, req *http.Request) {
 		requireMethod(w, req, "registry.predict", http.MethodGet, http.MethodPost)
 		return
 	}
-	preds, err := r.Predict(ref, nodes)
+	preds, err := r.PredictCtx(req.Context(), ref, nodes)
 	if err != nil {
 		serve.WriteError(w, statusFor(err), "registry.predict", err)
 		return
@@ -138,12 +139,21 @@ func (r *Registry) handlePredictAll(w http.ResponseWriter, req *http.Request) {
 	for i := range nodes {
 		nodes[i] = i
 	}
-	preds, err := r.Predict(ref, nodes)
+	preds, err := r.PredictCtx(req.Context(), ref, nodes)
 	if err != nil {
 		serve.WriteError(w, statusFor(err), "registry.predict", err)
 		return
 	}
 	serve.WriteJSON(w, http.StatusOK, serve.PredictResponse{Predictions: preds})
+}
+
+// handleMetrics answers GET /v1/metrics with the process-wide telemetry
+// registry in Prometheus text format.
+func (r *Registry) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if !requireMethod(w, req, "registry.metrics", http.MethodGet) {
+		return
+	}
+	telemetry.Default().Handler().ServeHTTP(w, req)
 }
 
 // handleStats answers GET /v1/models/{model}/stats with the per-version

@@ -154,6 +154,7 @@ func (r *Registry) recordFailureLocked(e *entry, cause error) {
 	e.failures++
 	e.lastErr = cause
 	if e.failures < r.breaker.Threshold {
+		recordHealthTransition(e.ref(), e.health, HealthDegraded)
 		e.health = HealthDegraded
 		return
 	}
@@ -164,6 +165,8 @@ func (r *Registry) recordFailureLocked(e *entry, cause error) {
 	// Stretch by up to 20% from the seeded stream: herds of clients retrying
 	// a recovering model spread out instead of re-tripping it in lockstep.
 	d += time.Duration(float64(d) * 0.2 * r.rng.Float64())
+	recordHealthTransition(e.ref(), e.health, HealthTripped)
+	telBreakerTrips.With(e.ref()).Inc()
 	e.health = HealthTripped
 	e.retryAt = time.Now().Add(d)
 	e.trips++
@@ -178,6 +181,7 @@ func (r *Registry) recordSuccessLocked(e *entry) {
 	if e.health == HealthOK && e.failures == 0 {
 		return
 	}
+	recordHealthTransition(e.ref(), e.health, HealthOK)
 	e.health = HealthOK
 	e.failures, e.trips = 0, 0
 	e.retryAt = time.Time{}

@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // Handler returns the multi-model HTTP surface of the registry — the
@@ -20,6 +21,8 @@ import (
 //	GET  /v1/ab/report                   online accuracy/latency per arm
 //	GET  /v1/healthz                     fleet liveness + readiness summary
 //	GET  /v1/readyz                      readiness probe: 200 serving, 503 not
+//	GET  /v1/metrics                     Prometheus text exposition
+//	                                     (process-wide telemetry registry)
 //
 //	/predict, /predict/all, /healthz, /stats   deprecated aliases onto the
 //	default model; they answer exactly like the old single-model API and
@@ -47,10 +50,13 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/v1/ab/report", r.handleABReport)
 	mux.HandleFunc("/v1/healthz", r.handleFleetHealthz)
 	mux.HandleFunc("/v1/readyz", r.handleReadyz)
+	mux.HandleFunc("/v1/metrics", r.handleMetrics)
 	// Deprecated flat aliases onto the default model.
 	mux.HandleFunc("/predict", r.legacy("/predict", r.handlePredict))
 	mux.HandleFunc("/predict/all", r.legacy("/predict", r.handlePredictAll))
 	mux.HandleFunc("/healthz", r.legacy("", r.handleHealthz))
 	mux.HandleFunc("/stats", r.legacy("/stats", r.handleModelStatsSnapshot))
-	return serve.Recover("registry.handler", mux)
+	// Every request carries a trace ID (incoming X-Trace-Id or freshly
+	// minted) so per-request error logs and engine spans correlate.
+	return serve.Recover("registry.handler", telemetry.TraceHTTP(mux))
 }

@@ -527,6 +527,7 @@ func (r *Registry) acquire(name string, version int) (*Handle, error) {
 		e.srv = srv
 		r.loaded++
 		r.coldStarts++
+		telColdStarts.Inc()
 		e.refs++
 		r.tick++
 		e.last = r.tick
@@ -574,6 +575,7 @@ func (r *Registry) evictLocked() []serve.Predictor {
 		victims = append(victims, lru.srv)
 		lru.srv = nil
 		r.loaded--
+		telEvictions.Inc()
 	}
 	return victims
 }
@@ -606,6 +608,7 @@ func (r *Registry) Swap(name string, version int) (int, error) {
 	}
 	prev := m.active
 	m.active = version
+	telSwaps.Inc()
 	return prev, nil
 }
 

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -130,16 +131,24 @@ func (r *Registry) Stats(name string) (*ModelStats, error) {
 // version, the request is split between control and candidate by the
 // deterministic per-node hash instead.
 func (r *Registry) Predict(ref string, nodes []int) ([]serve.Prediction, error) {
+	return r.PredictCtx(context.Background(), ref, nodes)
+}
+
+// PredictCtx is Predict under a caller context: deadlines apply to the
+// underlying serve call, and a telemetry trace ID carried by ctx (injected
+// by the TraceHTTP middleware) threads through the batching window into the
+// sharded engine's exchange spans.
+func (r *Registry) PredictCtx(ctx context.Context, ref string, nodes []int) ([]serve.Prediction, error) {
 	name, version, err := ParseRef(ref)
 	if err != nil {
 		return nil, fmt.Errorf("registry: Predict: %w", err)
 	}
 	if version == 0 {
 		if cfg, ok := r.ABActive(); ok && name == cfg.Control {
-			return r.predictAB(cfg, nodes)
+			return r.predictAB(ctx, cfg, nodes)
 		}
 	}
-	preds, _, _, _, err := r.predictOn(name, version, nodes)
+	preds, _, _, _, err := r.predictOn(ctx, name, version, nodes)
 	return preds, err
 }
 
@@ -149,14 +158,14 @@ func (r *Registry) Predict(ref string, nodes []int) ([]serve.Prediction, error) 
 // (serve.ErrModelPanic) count toward the model's circuit breaker — sheds,
 // deadlines and validation errors are the client's or the load's fault, not
 // the model's, and do not; a successful predict closes the breaker.
-func (r *Registry) predictOn(name string, version int, nodes []int) (preds []serve.Prediction, labelled, correct int, lat time.Duration, err error) {
+func (r *Registry) predictOn(ctx context.Context, name string, version int, nodes []int) (preds []serve.Prediction, labelled, correct int, lat time.Duration, err error) {
 	h, err := r.acquire(name, version)
 	if err != nil {
 		return nil, 0, 0, 0, err
 	}
 	defer h.Release()
 	start := time.Now()
-	preds, err = h.Server().Predict(nodes)
+	preds, err = h.Server().PredictCtx(ctx, nodes)
 	if err != nil {
 		if errors.Is(err, serve.ErrModelPanic) {
 			r.mu.Lock()
@@ -167,6 +176,7 @@ func (r *Registry) predictOn(name string, version int, nodes []int) (preds []ser
 	}
 	lat = time.Since(start)
 	labelled, correct = scorePreds(h.Server(), preds)
+	telPredicts.With(h.e.ref()).Inc()
 	r.mu.Lock()
 	r.recordSuccessLocked(h.e)
 	h.e.stats.record(len(nodes), labelled, correct, lat)

@@ -1,21 +1,30 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/matrix"
 	"repro/internal/models"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // request is one in-flight Predict call from enqueue to completion. A
 // non-zero deadline is enforced twice: by the caller's context select while
 // waiting, and by the dispatcher when it opens the window — an expired
 // request is failed with ErrDeadline instead of computed, so a stale caller
-// never costs engine work.
+// never costs engine work. trace is the caller's telemetry trace ID, carried
+// so the window span and the sharded engine's exchange spans join the same
+// trace.
 type request struct {
-	nodes    []int
+	nodes []int
+	trace telemetry.TraceID
+	// traced marks requests whose caller context carried the trace (HTTP
+	// requests via the TraceHTTP middleware); only those pay for span
+	// recording — embedded Predict calls stay span-free on the hot path.
+	traced   bool
 	enq      time.Time
 	deadline time.Time
 	preds    []Prediction
@@ -119,7 +128,25 @@ func (s *Server) runBatch(batch []*request) {
 	for _, r := range live {
 		ids = append(ids, r.nodes...)
 	}
-	rows, err := s.safeLogitsFor(ids)
+	// The window runs under the first traced live request's trace: batch
+	// windows have no identity of their own, so the span that paid for the
+	// engine pass joins the trace that opened the window. The context
+	// carries observability identity only — the engine's numeric work never
+	// reads it. Windows with no traced request (embedded callers) skip the
+	// span and the context allocation entirely.
+	wctx := context.Background()
+	var wsp *telemetry.Span
+	for _, r := range live {
+		if r.traced {
+			wctx = telemetry.ContextWithTrace(wctx, r.trace)
+			wsp = telemetry.DefaultTracer().Span(r.trace, "serve.window")
+			break
+		}
+	}
+	rows, err := s.safeLogitsFor(wctx, ids)
+	if wsp != nil {
+		wsp.Attr("requests", len(live)).Attr("nodes", len(ids)).End()
+	}
 	if err != nil {
 		for _, r := range live {
 			r.err = err
@@ -141,6 +168,13 @@ func (s *Server) runBatch(batch []*request) {
 		close(r.done)
 	}
 	s.metrics.recordBatch()
+	// The pending gauge is sampled every 64th window (from the admission
+	// counter the budget is enforced against) instead of updated on every
+	// Predict: the gauge is a load indicator, and sampling it keeps the
+	// per-request path free of gauge traffic.
+	if tel := s.metrics.tel; tel != nil && s.windows%64 == 0 {
+		tel.pending.Set(float64(s.pending.Load()))
+	}
 }
 
 // safeLogitsFor runs the model engine for one window behind a recover
@@ -148,7 +182,7 @@ func (s *Server) runBatch(batch []*request) {
 // into an ErrModelPanic the window's requests fail with. The fault schedule
 // keys off s.windows, owned by this (the dispatcher's) goroutine, so a
 // seeded scenario injects the same faults at the same windows on every run.
-func (s *Server) safeLogitsFor(ids []int) (rows *matrix.Dense, err error) {
+func (s *Server) safeLogitsFor(ctx context.Context, ids []int) (rows *matrix.Dense, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			rows = nil
@@ -163,15 +197,22 @@ func (s *Server) safeLogitsFor(ids []int) (rows *matrix.Dense, err error) {
 			panic(fmt.Sprintf("chaos: injected engine panic at window %d", s.windows))
 		}
 	}
-	return s.logitsFor(ids), nil
+	return s.logitsFor(ctx, ids), nil
 }
 
 // logitsFor computes the class-score rows for ids, in order.
-func (s *Server) logitsFor(ids []int) *matrix.Dense {
+func (s *Server) logitsFor(ctx context.Context, ids []int) *matrix.Dense {
 	if s.emb == nil {
 		// Coupled path: one full propagation per window (the plan cached on
-		// the graph is reused across windows), then a row gather.
-		full := s.model.Logits(false)
+		// the graph is reused across windows), then a row gather. An engine
+		// that accepts the window context (the sharded forward) gets it, so
+		// its halo-exchange spans join the request trace.
+		var full *matrix.Dense
+		if cm, ok := s.model.(CtxModel); ok {
+			full = cm.LogitsCtx(ctx, false)
+		} else {
+			full = s.model.Logits(false)
+		}
 		out := matrix.New(len(ids), full.Cols)
 		for i, id := range ids {
 			copy(out.Row(i), full.Row(id))

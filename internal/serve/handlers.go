@@ -86,7 +86,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("serve: predict: method %s not allowed", r.Method))
 		return
 	}
-	preds, err := s.Predict(nodes)
+	// The request context carries the trace ID the TraceHTTP middleware
+	// injected (when mounted), so the batcher's window spans join it.
+	preds, err := s.PredictCtx(r.Context(), nodes)
 	if err != nil {
 		WriteError(w, PredictStatus(err), "serve.predict", err)
 		return
@@ -96,7 +98,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 // handlePredictAll answers the full-graph warm path.
 func (s *Server) handlePredictAll(w http.ResponseWriter, r *http.Request) {
-	preds, err := s.PredictAll()
+	nodes := make([]int, s.Nodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	preds, err := s.PredictCtx(r.Context(), nodes)
 	if err != nil {
 		WriteError(w, PredictStatus(err), "serve.predict", err)
 		return

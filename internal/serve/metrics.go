@@ -12,8 +12,13 @@ const latWindow = 1 << 14
 
 // Metrics accumulates per-request latency and throughput counters for one
 // Server. All methods are safe for concurrent use; tests and callers only
-// see it through Snapshot.
+// see it through Snapshot. Every mutation is mirrored onto the process-wide
+// telemetry registry (the adafgl_serve_* families) via the cached tel
+// series; the Snapshot fields themselves stay the source of truth for
+// Stats(), bit-compatible with the pre-telemetry layout.
 type Metrics struct {
+	tel *telSeries // per-arch registry series; nil records locally only
+
 	mu        sync.Mutex
 	start     time.Time
 	requests  uint64
@@ -40,6 +45,11 @@ func (m *Metrics) reset() {
 
 // record accounts one completed request of n queried nodes.
 func (m *Metrics) record(n int, lat time.Duration) {
+	if m.tel != nil {
+		m.tel.requests.Inc()
+		m.tel.nodes.Add(uint64(n))
+		m.tel.latency.Observe(lat.Seconds())
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests++
@@ -57,6 +67,9 @@ func (m *Metrics) record(n int, lat time.Duration) {
 
 // recordBatch accounts one executed batch window.
 func (m *Metrics) recordBatch() {
+	if m.tel != nil {
+		m.tel.batches.Inc()
+	}
 	m.mu.Lock()
 	m.batches++
 	m.mu.Unlock()
@@ -64,6 +77,9 @@ func (m *Metrics) recordBatch() {
 
 // recordShed accounts one Predict call rejected by admission control.
 func (m *Metrics) recordShed() {
+	if m.tel != nil {
+		m.tel.shed.Inc()
+	}
 	m.mu.Lock()
 	m.shed++
 	m.mu.Unlock()
@@ -71,6 +87,9 @@ func (m *Metrics) recordShed() {
 
 // recordDeadline accounts one Predict call that missed its deadline.
 func (m *Metrics) recordDeadline() {
+	if m.tel != nil {
+		m.tel.deadlines.Inc()
+	}
 	m.mu.Lock()
 	m.deadlines++
 	m.mu.Unlock()
@@ -78,6 +97,9 @@ func (m *Metrics) recordDeadline() {
 
 // recordPanic accounts one Predict call failed by an engine panic.
 func (m *Metrics) recordPanic() {
+	if m.tel != nil {
+		m.tel.panics.Inc()
+	}
 	m.mu.Lock()
 	m.panics++
 	m.mu.Unlock()

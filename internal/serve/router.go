@@ -2,6 +2,8 @@ package serve
 
 import (
 	"net/http"
+
+	"repro/internal/telemetry"
 )
 
 // Handler returns the single-model HTTP surface of the server:
@@ -12,6 +14,7 @@ import (
 //	GET  /predict/all        full-graph warm path
 //	GET  /healthz            liveness + model identity
 //	GET  /stats              latency/throughput snapshot
+//	GET  /metrics            Prometheus text exposition (process-wide)
 //
 // Malformed or truncated input yields HTTP 400 with a structured error
 // envelope ({"error":{"op","code","msg"}}, see ErrorEnvelope) — handlers
@@ -27,5 +30,6 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/predict/all", s.handlePredictAll)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
-	return Recover("serve.handler", mux)
+	mux.Handle("/metrics", telemetry.Default().Handler())
+	return Recover("serve.handler", telemetry.TraceHTTP(mux))
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matrix"
 	"repro/internal/models"
+	"repro/internal/telemetry"
 )
 
 // Options configures the batching behaviour of a Server.
@@ -255,6 +256,7 @@ func newServer(src graph.NodeSource, m models.Model, arch string, opt Options) *
 	if dec, ok := m.(models.Decoupled); ok {
 		s.emb, s.head = dec.InferenceFactors()
 	}
+	s.metrics.tel = newTelSeries(arch)
 	s.metrics.reset()
 	go s.dispatch()
 	return s
@@ -353,13 +355,33 @@ func (s *Server) predictCtx(ctx context.Context, nodes []int) ([]Prediction, err
 		defer cancel()
 		deadline, hasDeadline = ctx.Deadline()
 	}
+	// The trace ID rides the request struct (not a context) so the
+	// dispatcher can stamp window spans without touching caller contexts.
+	// Only callers that arrive WITH a trace (the HTTP middleware injects
+	// one for every request) get spans; embedded in-process Predict calls
+	// mint an ID for correlation — a single atomic add that never touches
+	// any seeded RNG stream — but pay no recording cost on the hot path.
+	trace, hasTrace := telemetry.TraceFrom(ctx)
+	if !hasTrace {
+		trace = telemetry.NewTraceID()
+	}
 	req := &request{
-		nodes: append([]int(nil), nodes...),
-		enq:   time.Now(),
-		done:  make(chan struct{}),
+		nodes:  append([]int(nil), nodes...),
+		trace:  trace,
+		traced: hasTrace,
+		enq:    time.Now(),
+		done:   make(chan struct{}),
 	}
 	if hasDeadline {
 		req.deadline = deadline
+	}
+	if hasTrace {
+		sp := telemetry.DefaultTracer().Span(trace, "serve.request")
+		defer func() {
+			if sp != nil {
+				sp.Attr("arch", s.arch).Attr("nodes", len(nodes)).End()
+			}
+		}()
 	}
 	select {
 	case s.queue <- req:

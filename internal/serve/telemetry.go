@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+
+	"repro/internal/matrix"
+	"repro/internal/telemetry"
+)
+
+// CtxModel is implemented by engines whose full-graph logits pass can use
+// the window's request context — the sharded engine threads it into the
+// halo exchange so one trace ID spans HTTP handler → batcher window →
+// shard exchange. Engines without the method run exactly as before; the
+// context carries observability identity only and never alters results.
+type CtxModel interface {
+	// LogitsCtx is models.Model.Logits under a request context.
+	LogitsCtx(ctx context.Context, train bool) *matrix.Dense
+}
+
+// Serving-layer metric families on the process-wide telemetry registry.
+// One series per served architecture; every counter mirrors a field of the
+// bit-compatible Snapshot, so /stats and /v1/metrics can never disagree on
+// what they count.
+var (
+	telRequests = telemetry.Default().CounterVec("adafgl_serve_requests_total",
+		"Completed Predict calls.", "arch")
+	telNodes = telemetry.Default().CounterVec("adafgl_serve_nodes_total",
+		"Node queries answered.", "arch")
+	telBatches = telemetry.Default().CounterVec("adafgl_serve_batches_total",
+		"Executed batch windows.", "arch")
+	telShed = telemetry.Default().CounterVec("adafgl_serve_shed_total",
+		"Predict calls rejected by admission control.", "arch")
+	telDeadlines = telemetry.Default().CounterVec("adafgl_serve_deadline_total",
+		"Predict calls that missed their deadline.", "arch")
+	telPanics = telemetry.Default().CounterVec("adafgl_serve_panics_total",
+		"Predict calls failed by a recovered engine panic.", "arch")
+	telLatency = telemetry.Default().HistogramVec("adafgl_serve_request_latency_seconds",
+		"End-to-end Predict latency.", telemetry.LatencyBuckets, "arch")
+	telPending = telemetry.Default().GaugeVec("adafgl_serve_pending_nodes",
+		"Admitted-but-unanswered queried nodes.", "arch")
+)
+
+// telSeries caches one server's resolved telemetry series so the hot path
+// never pays a family map lookup. A nil *telSeries (zero-value Metrics
+// outside a server) records nothing.
+type telSeries struct {
+	requests, nodes, batches *telemetry.Counter
+	shed, deadlines, panics  *telemetry.Counter
+	latency                  *telemetry.Histogram
+	pending                  *telemetry.Gauge
+}
+
+// newTelSeries resolves the per-arch series once at server construction.
+func newTelSeries(arch string) *telSeries {
+	return &telSeries{
+		requests:  telRequests.With(arch),
+		nodes:     telNodes.With(arch),
+		batches:   telBatches.With(arch),
+		shed:      telShed.With(arch),
+		deadlines: telDeadlines.With(arch),
+		panics:    telPanics.With(arch),
+		latency:   telLatency.With(arch),
+		pending:   telPending.With(arch),
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestServeTelemetryBitIdentical is the observation-only contract at the
+// serving layer: the same queries answered with telemetry enabled and
+// disabled must return bitwise-equal logits and classes.
+func TestServeTelemetryBitIdentical(t *testing.T) {
+	ck := trainedCheckpoint(t, "SGC", 41)
+	nodes := []int{0, 3, 9, 1, 17, 5}
+
+	run := func(enabled bool) []Prediction {
+		t.Helper()
+		defer telemetry.SetEnabled(telemetry.SetEnabled(enabled))
+		srv, err := New(ck, Options{MaxBatch: 4, MaxWait: time.Millisecond, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		preds, err := srv.Predict(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return preds
+	}
+	on := run(true)
+	off := run(false)
+
+	for i := range on {
+		if on[i].Node != off[i].Node || on[i].Class != off[i].Class {
+			t.Fatalf("query %d: on (%d,%d) vs off (%d,%d)",
+				i, on[i].Node, on[i].Class, off[i].Node, off[i].Class)
+		}
+		for j := range on[i].Logits {
+			if on[i].Logits[j] != off[i].Logits[j] {
+				t.Fatalf("query %d logit %d differs between telemetry on and off", i, j)
+			}
+		}
+	}
+}
+
+// TestServeTelemetryCounters covers the serving families: completed requests
+// and answered nodes advance their per-arch counters by exactly the local
+// Snapshot's deltas, and the latency histogram records one sample per
+// request — /stats and /v1/metrics can never disagree on what they count.
+func TestServeTelemetryCounters(t *testing.T) {
+	defer telemetry.SetEnabled(telemetry.SetEnabled(true))
+	ck := trainedCheckpoint(t, "SGC", 43)
+	srv, err := New(ck, Options{MaxBatch: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	arch := srv.Arch()
+	reqBefore := telRequests.With(arch).Value()
+	nodeBefore := telNodes.With(arch).Value()
+	latBefore := telLatency.With(arch).Count()
+
+	queries := [][]int{{0}, {1, 2}, {3, 4, 5}}
+	wantNodes := uint64(0)
+	for _, q := range queries {
+		if _, err := srv.Predict(q); err != nil {
+			t.Fatal(err)
+		}
+		wantNodes += uint64(len(q))
+	}
+
+	if got := telRequests.With(arch).Value() - reqBefore; got != uint64(len(queries)) {
+		t.Errorf("requests counter advanced by %d, want %d", got, len(queries))
+	}
+	if got := telNodes.With(arch).Value() - nodeBefore; got != wantNodes {
+		t.Errorf("nodes counter advanced by %d, want %d", got, wantNodes)
+	}
+	if got := telLatency.With(arch).Count() - latBefore; got != uint64(len(queries)) {
+		t.Errorf("latency histogram recorded %d samples, want %d", got, len(queries))
+	}
+}

@@ -1,11 +1,14 @@
 package shard
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/matrix"
 	"repro/internal/models"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // The slab protocol: each shard's working state during propagation is a
@@ -20,6 +23,12 @@ import (
 // FeatureSlabs builds the hop-zero slabs: every shard's feature rows
 // scattered to their column positions, halos filled by one exchange.
 func (sh *Sharded) FeatureSlabs() []*matrix.Dense {
+	return sh.featureSlabsCtx(context.Background())
+}
+
+// featureSlabsCtx is FeatureSlabs under a request context (trace threading
+// only).
+func (sh *Sharded) featureSlabsCtx(ctx context.Context) []*matrix.Dense {
 	slabs := make([]*matrix.Dense, len(sh.Shards))
 	for i, s := range sh.Shards {
 		slab := matrix.New(len(s.Cols), sh.Features)
@@ -28,7 +37,7 @@ func (sh *Sharded) FeatureSlabs() []*matrix.Dense {
 		}
 		slabs[i] = slab
 	}
-	sh.Exchange(slabs)
+	sh.ExchangeCtx(ctx, slabs)
 	return slabs
 }
 
@@ -37,10 +46,40 @@ func (sh *Sharded) FeatureSlabs() []*matrix.Dense {
 // the owner's rows, never recomputed, so a value observed through a halo is
 // bit-equal to the value the owner holds.
 func (sh *Sharded) Exchange(slabs []*matrix.Dense) {
+	sh.ExchangeCtx(context.Background(), slabs)
+}
+
+// ExchangeCtx is Exchange under a request context: when the context carries
+// a telemetry trace ID (a serving window's), the exchange records a span on
+// that trace, so one trace follows a request from the HTTP handler through
+// the batch window into the halo exchange it paid for. The exchanged bytes
+// and wall time feed the adafgl_shard_exchange_* families either way. The
+// row copies themselves are identical to Exchange — observation only.
+func (sh *Sharded) ExchangeCtx(ctx context.Context, slabs []*matrix.Dense) {
+	observe := telemetry.Enabled()
+	var start time.Time
+	var sp *telemetry.Span
+	if observe {
+		if id, ok := telemetry.TraceFrom(ctx); ok {
+			sp = telemetry.DefaultTracer().Span(id, "shard.exchange")
+		}
+		start = time.Now()
+	}
+	var rows, bytes uint64
 	for i, s := range sh.Shards {
 		for _, h := range s.halos {
 			copy(slabs[i].Row(int(h.pos)), slabs[h.owner].Row(int(h.row)))
 		}
+		if observe {
+			rows += uint64(len(s.halos))
+			bytes += uint64(len(s.halos)) * uint64(slabs[i].Cols) * 8
+		}
+	}
+	if observe {
+		telExchanges.Inc()
+		telExchangeBytes.Add(bytes)
+		telExchangeSeconds.Observe(time.Since(start).Seconds())
+		sp.Attr("halo_rows", rows).Attr("bytes", bytes).End()
 	}
 }
 
@@ -51,6 +90,12 @@ func (sh *Sharded) Exchange(slabs []*matrix.Dense) {
 // order — the same order as the unsharded kernel — which is what keeps
 // sharded propagation bit-identical to single-process propagation.
 func (sh *Sharded) PropagateSlabs(slabs []*matrix.Dense) []*matrix.Dense {
+	return sh.propagateSlabsCtx(context.Background(), slabs)
+}
+
+// propagateSlabsCtx is PropagateSlabs under a request context (trace
+// threading only).
+func (sh *Sharded) propagateSlabsCtx(ctx context.Context, slabs []*matrix.Dense) []*matrix.Dense {
 	next := make([]*matrix.Dense, len(sh.Shards))
 	for i, s := range sh.Shards {
 		local := s.plan.MulDense(slabs[i])
@@ -60,7 +105,7 @@ func (sh *Sharded) PropagateSlabs(slabs []*matrix.Dense) []*matrix.Dense {
 		}
 		next[i] = slab
 	}
-	sh.Exchange(next)
+	sh.ExchangeCtx(ctx, next)
 	return next
 }
 
@@ -122,10 +167,18 @@ func (sh *Sharded) Embedding(hops int, weights []float64) ([]*matrix.Dense, erro
 // needed between a head step and the next propagation. Returns each shard's
 // owned logit rows.
 func (sh *Sharded) Forward(layers []models.InferenceLayer) []*matrix.Dense {
-	slabs := sh.FeatureSlabs()
+	return sh.ForwardCtx(context.Background(), layers)
+}
+
+// ForwardCtx is Forward under a request context: the batching window's
+// trace ID rides ctx into every halo exchange of the pipeline, so the
+// exchange spans of a served request join its trace. Numerics are identical
+// to Forward.
+func (sh *Sharded) ForwardCtx(ctx context.Context, layers []models.InferenceLayer) []*matrix.Dense {
+	slabs := sh.featureSlabsCtx(ctx)
 	for _, l := range layers {
 		if l.Propagate {
-			slabs = sh.PropagateSlabs(slabs)
+			slabs = sh.propagateSlabsCtx(ctx, slabs)
 			continue
 		}
 		for i, slab := range slabs {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // label routes a global node id to its owner shard's label table.
@@ -59,7 +60,15 @@ type windowModel struct {
 func (m *windowModel) Params() []*nn.Parameter { return nil }
 
 func (m *windowModel) Logits(train bool) *matrix.Dense {
-	locals := m.sh.Forward(m.layers)
+	return m.LogitsCtx(context.Background(), train)
+}
+
+// LogitsCtx implements serve.CtxModel: the batching window's context (and
+// with it the request's telemetry trace) threads into the halo-exchanged
+// forward, so exchange spans join the trace that opened the window. The
+// computation is exactly Logits.
+func (m *windowModel) LogitsCtx(ctx context.Context, train bool) *matrix.Dense {
+	locals := m.sh.ForwardCtx(ctx, m.layers)
 	out := matrix.New(m.sh.Plan.N(), locals[0].Cols)
 	for i, s := range m.sh.Shards {
 		for l, v := range s.Nodes {
@@ -80,9 +89,10 @@ func (m *windowModel) Backward(grad *matrix.Dense) {
 // serve.Predictor, so the registry's swap/LRU/breaker machinery and the v1
 // HTTP API drive a sharded fleet exactly like a single-process server.
 type Server struct {
-	sh   *Sharded
-	arch string
-	subs []*serve.Server
+	sh    *Sharded
+	arch  string
+	subs  []*serve.Server
+	route []routeSeries // per-owner fan-out counters, resolved once
 }
 
 // NewFromParts starts a sharded decoupled server from an already-built
@@ -101,7 +111,11 @@ func NewFromParts(sh *Sharded, arch string, head []models.HeadLayer, spec models
 	if err != nil {
 		return nil, fmt.Errorf("shard: NewFromParts: %w", err)
 	}
-	s := &Server{sh: sh, arch: arch, subs: make([]*serve.Server, len(sh.Shards))}
+	s := &Server{
+		sh: sh, arch: arch,
+		subs:  make([]*serve.Server, len(sh.Shards)),
+		route: newRouteSeries(len(sh.Shards)),
+	}
 	for i, shd := range sh.Shards {
 		sub, err := serve.NewFromFactors(shardSource{s: shd, classes: sh.Classes}, locals[i], head, arch, opt)
 		if err != nil {
@@ -184,11 +198,19 @@ func (s *Server) PredictCtx(ctx context.Context, nodes []int) ([]serve.Predictio
 		locals[o] = append(locals[o], s.sh.Plan.LocalID(v))
 		at[o] = append(at[o], i)
 	}
+	fanout := 0
+	if id, ok := telemetry.TraceFrom(ctx); ok {
+		sp := telemetry.DefaultTracer().Span(id, "shard.route")
+		defer func() { sp.Attr("shards", fanout).Attr("nodes", len(nodes)).End() }()
+	}
 	out := make([]serve.Prediction, len(nodes))
 	for o := 0; o < shards; o++ {
 		if len(locals[o]) == 0 {
 			continue
 		}
+		fanout++
+		s.route[o].requests.Inc()
+		s.route[o].nodes.Add(uint64(len(locals[o])))
 		preds, err := s.subs[o].PredictCtx(ctx, locals[o])
 		if err != nil {
 			return nil, err

@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// 0.0.4: families in name order, each preceded by # HELP and # TYPE lines,
+// series in label-value order, histograms as cumulative _bucket{le=...}
+// plus _sum and _count. Output is deterministic for a fixed registry state,
+// which the golden tests rely on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		keys, vals := f.sortedSeries()
+		for i, k := range keys {
+			lbl := labelString(f.labels, strings.Split(k, seriesSep))
+			switch m := vals[i].(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, lbl, m.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, lbl, formatFloat(m.Value()))
+			case *Histogram:
+				cum := m.cumulative()
+				for bi, le := range f.buckets {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name,
+						labelStringExtra(f.labels, strings.Split(k, seriesSep), "le", formatFloat(le)), cum[bi])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name,
+					labelStringExtra(f.labels, strings.Split(k, seriesSep), "le", "+Inf"), cum[len(cum)-1])
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, lbl, formatFloat(m.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, lbl, m.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry's Prometheus
+// exposition with the text-format content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, quotes and newlines in a label value.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// labelString renders {k1="v1",k2="v2"} (empty string for no labels).
+func labelString(names, vals []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	return labelStringExtra(names, vals, "", "")
+}
+
+// labelStringExtra renders the label block with an optional extra pair
+// appended (used for histogram le labels).
+func labelStringExtra(names, vals []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(vals) {
+			v = vals[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteString(`"`)
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(extraV)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sampleLine matches one exposition sample: name, optional label block,
+// value.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$`)
+
+// CheckExposition validates Prometheus text-format output structurally:
+// every sample line parses, every sample belongs to a family declared by a
+// preceding # TYPE line (histogram samples may use the _bucket/_sum/_count
+// suffixes), every family carries both HELP and TYPE, and every histogram
+// has a +Inf bucket whose value equals its _count. It returns the first
+// violation found, or nil. serve-demo and CI use it to fail on malformed
+// scrapes.
+func CheckExposition(data []byte) error {
+	type fam struct {
+		kind    string
+		help    bool
+		inf     map[string]string // histogram: label-key (minus le) -> +Inf bucket value
+		cnt     map[string]string // histogram: label-key -> _count value
+		samples int
+	}
+	fams := make(map[string]*fam)
+	get := func(name string) *fam {
+		f, ok := fams[name]
+		if !ok {
+			f = &fam{inf: map[string]string{}, cnt: map[string]string{}}
+			fams[name] = f
+		}
+		return f
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			get(parts[0]).help = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line[len("# TYPE "):], " ", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", ln+1, parts[1])
+			}
+			get(parts[0]).kind = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", ln+1, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		base := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, sfx) {
+				if f, ok := fams[name[:len(name)-len(sfx)]]; ok && f.kind == "histogram" {
+					base, suffix = name[:len(name)-len(sfx)], sfx
+					break
+				}
+			}
+		}
+		f, ok := fams[base]
+		if !ok || f.kind == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", ln+1, name)
+		}
+		f.samples++
+		if suffix == "_bucket" {
+			key, le, ok := splitLE(labels)
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket without le label: %q", ln+1, line)
+			}
+			if le == "+Inf" {
+				f.inf[key] = value
+			}
+		}
+		if suffix == "_count" {
+			f.cnt[strings.Trim(labels, "{}")] = value
+		}
+	}
+	for name, f := range fams {
+		if f.kind == "" {
+			return fmt.Errorf("family %s: HELP without TYPE", name)
+		}
+		if !f.help {
+			return fmt.Errorf("family %s: TYPE without HELP", name)
+		}
+		if f.kind == "histogram" {
+			for key, cnt := range f.cnt {
+				inf, ok := f.inf[key]
+				if !ok {
+					return fmt.Errorf("family %s{%s}: histogram without +Inf bucket", name, key)
+				}
+				if inf != cnt {
+					return fmt.Errorf("family %s{%s}: +Inf bucket %s != count %s", name, key, inf, cnt)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// splitLE strips the le="..." pair from a label block, returning the
+// residual pairs (the series identity) and the le value.
+func splitLE(labels string) (rest, le string, ok bool) {
+	inner := strings.Trim(labels, "{}")
+	var keep []string
+	for _, pair := range splitPairs(inner) {
+		if v, found := strings.CutPrefix(pair, `le="`); found {
+			le = strings.TrimSuffix(v, `"`)
+			ok = true
+			continue
+		}
+		keep = append(keep, pair)
+	}
+	return strings.Join(keep, ","), le, ok
+}
+
+// splitPairs splits a label block interior on commas outside quotes.
+func splitPairs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// HasFamily reports whether the exposition data declares a # TYPE line for
+// the named family — the core-family presence check used by serve-demo.
+func HasFamily(data []byte, name string) bool {
+	return strings.Contains(string(data), "# TYPE "+name+" ")
+}

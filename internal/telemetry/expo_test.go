@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the full text exposition of a small registry —
+// family order, HELP/TYPE lines, label rendering, histogram expansion —
+// so metric names and format stay stable across refactors.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	req := r.CounterVec("adafgl_serve_requests_total", "Completed predict calls.", "arch")
+	req.With("GCN").Add(3)
+	req.With("SGC").Add(1)
+	r.Gauge("adafgl_federated_round_accuracy", "Latest global round accuracy.").Set(0.825)
+	h := r.Histogram("adafgl_serve_request_latency_seconds", "Request latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP adafgl_federated_round_accuracy Latest global round accuracy.
+# TYPE adafgl_federated_round_accuracy gauge
+adafgl_federated_round_accuracy 0.825
+# HELP adafgl_serve_request_latency_seconds Request latency.
+# TYPE adafgl_serve_request_latency_seconds histogram
+adafgl_serve_request_latency_seconds_bucket{le="0.01"} 1
+adafgl_serve_request_latency_seconds_bucket{le="0.1"} 2
+adafgl_serve_request_latency_seconds_bucket{le="+Inf"} 3
+adafgl_serve_request_latency_seconds_sum 5.055
+adafgl_serve_request_latency_seconds_count 3
+# HELP adafgl_serve_requests_total Completed predict calls.
+# TYPE adafgl_serve_requests_total counter
+adafgl_serve_requests_total{arch="GCN"} 3
+adafgl_serve_requests_total{arch="SGC"} 1
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if err := CheckExposition([]byte(buf.String())); err != nil {
+		t.Fatalf("golden exposition fails its own checker: %v", err)
+	}
+}
+
+// TestLabelEscaping checks quotes/backslashes/newlines in label values are
+// escaped into valid exposition.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("t_esc", "esc", "path").With(`a"b\c` + "\nd").Inc()
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `t_esc{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaping wrong:\n%s", buf.String())
+	}
+	if err := CheckExposition([]byte(buf.String())); err != nil {
+		t.Fatalf("escaped exposition rejected: %v", err)
+	}
+}
+
+// TestHandler checks the HTTP scrape endpoint sets the exposition content
+// type and serves the registry.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_hits_total", "hits").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "t_hits_total 1") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+// TestCheckExposition feeds the checker valid and broken documents.
+func TestCheckExposition(t *testing.T) {
+	valid := "# HELP a_total x\n# TYPE a_total counter\na_total 3\n"
+	if err := CheckExposition([]byte(valid)); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	cases := map[string]string{
+		"sample without TYPE": "a_total 3\n",
+		"TYPE without HELP":   "# TYPE a_total counter\na_total 3\n",
+		"HELP without TYPE":   "# HELP a_total x\na_total 3\n",
+		"malformed sample":    "# HELP a x\n# TYPE a counter\na{ 3\n",
+		"unknown kind":        "# HELP a x\n# TYPE a widget\na 3\n",
+		"histogram no inf": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 2` + "\nh_sum 2\nh_count 2\n",
+		"inf != count": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 2\nh_count 3\n",
+	}
+	for name, doc := range cases {
+		if err := CheckExposition([]byte(doc)); err == nil {
+			t.Errorf("%s: checker accepted broken doc:\n%s", name, doc)
+		}
+	}
+	histo := "# HELP h x\n# TYPE h histogram\n" +
+		`h_bucket{arch="GCN",le="1"} 1` + "\n" + `h_bucket{arch="GCN",le="+Inf"} 2` + "\n" +
+		`h_sum{arch="GCN"} 3` + "\n" + `h_count{arch="GCN"} 2` + "\n"
+	if err := CheckExposition([]byte(histo)); err != nil {
+		t.Fatalf("labeled histogram rejected: %v", err)
+	}
+	if !HasFamily([]byte(valid), "a_total") || HasFamily([]byte(valid), "b_total") {
+		t.Fatal("HasFamily wrong")
+	}
+}

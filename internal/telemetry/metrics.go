@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefBuckets are the classic Prometheus default histogram bounds, suitable
+// for second-scale request latencies.
+var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// LatencyBuckets are fine-grained bounds for the microsecond-to-second
+// latencies of the in-process serving path.
+var LatencyBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 10,
+}
+
+// Counter is a monotonically increasing count backed by a single atomic.
+// The zero value is usable, but instruments should come from a Registry so
+// they are scraped.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. It is a no-op while telemetry is disabled.
+func (c *Counter) Add(n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a settable value backed by an atomic float64-bit cell, or — when
+// created via GaugeFunc — a callback evaluated at read time.
+type Gauge struct {
+	bits atomic.Uint64
+	fn   func() float64
+}
+
+// Set stores v. It is a no-op while telemetry is disabled and on
+// func-backed gauges.
+func (g *Gauge) Set(v float64) {
+	if g.fn != nil || !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d to the gauge (CAS loop). It is a no-op while telemetry is
+// disabled and on func-backed gauges.
+func (g *Gauge) Add(d float64) {
+	if g.fn != nil || !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (the callback's result for func-backed
+// gauges).
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution: cumulative-on-read bucket
+// counts and a running sum, all atomic. Bounds are the upper edges (le) in
+// ascending order; an implicit +Inf bucket catches the tail. The total count
+// is derived from the buckets at read time, keeping Observe at two atomic
+// ops — it sits on the per-request serving hot path.
+type Histogram struct {
+	le      []float64
+	buckets []atomic.Uint64 // len(le)+1; last is the +Inf overflow
+	sumBits atomic.Uint64
+}
+
+func newHistogram(le []float64) *Histogram {
+	return &Histogram{le: le, buckets: make([]atomic.Uint64, len(le)+1)}
+}
+
+// Observe records one sample. It is a no-op while telemetry is disabled.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.le) && v > h.le[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observed samples (the bucket total).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// cumulative returns the cumulative bucket counts (aligned with le, +Inf
+// last) as required by the exposition format.
+func (h *Histogram) cumulative() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	var run uint64
+	for i := range h.buckets {
+		run += h.buckets[i].Load()
+		out[i] = run
+	}
+	return out
+}
+
+// Counter registers (or returns) the unlabeled counter family name.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, KindCounter, nil, nil)
+	return f.get("", func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers (or returns) the unlabeled gauge family name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, KindGauge, nil, nil)
+	return f.get("", func() any { return new(Gauge) }).(*Gauge)
+}
+
+// GaugeFunc registers an unlabeled gauge whose value is fn's result at
+// scrape time (e.g. a queue depth or a runtime/metrics sample). Re-registering
+// the same name keeps the first callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, KindGauge, nil, nil)
+	f.get("", func() any { return &Gauge{fn: fn} })
+}
+
+// Histogram registers (or returns) the unlabeled histogram family name with
+// the given bucket upper bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, KindHistogram, buckets, nil)
+	return f.get("", func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterVec is a labeled counter family; With resolves one series.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) the labeled counter family name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, KindCounter, nil, labels)}
+}
+
+// With returns the series for the given label values (one per label name,
+// in order), creating it on first use. Callers on hot paths should resolve
+// series once and cache the pointer.
+func (v *CounterVec) With(vals ...string) *Counter {
+	v.f.checkArity(vals)
+	return v.f.get(key(vals), func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a labeled gauge family; With resolves one series.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) the labeled gauge family name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, KindGauge, nil, labels)}
+}
+
+// With returns the series for the given label values, creating it on first
+// use.
+func (v *GaugeVec) With(vals ...string) *Gauge {
+	v.f.checkArity(vals)
+	return v.f.get(key(vals), func() any { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family; With resolves one series.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) the labeled histogram family name
+// with the given bucket upper bounds (nil means DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r.register(name, help, KindHistogram, buckets, labels)}
+}
+
+// With returns the series for the given label values, creating it on first
+// use.
+func (v *HistogramVec) With(vals ...string) *Histogram {
+	v.f.checkArity(vals)
+	return v.f.get(key(vals), func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}

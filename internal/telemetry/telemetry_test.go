@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeBasics exercises the scalar instruments end to end.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_requests_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("t_requests_total", "requests"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("t_depth", "depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+
+	r.GaugeFunc("t_func", "func gauge", func() float64 { return 42 })
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "t_func 42\n") {
+		t.Fatalf("func gauge not scraped:\n%s", buf.String())
+	}
+}
+
+// TestHistogram checks bucket assignment, cumulative counts, sum and count.
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.5+0.5+5+50; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	cum := h.cumulative()
+	want := []uint64{1, 3, 4, 5}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+}
+
+// TestVecSeries checks labeled families resolve stable per-tuple series.
+func TestVecSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("t_by_arch_total", "per arch", "arch")
+	v.With("GCN").Add(2)
+	v.With("SGC").Inc()
+	if v.With("GCN").Value() != 2 || v.With("SGC").Value() != 1 {
+		t.Fatal("vec series not independent")
+	}
+	gv := r.GaugeVec("t_g", "g", "a", "b")
+	gv.With("x", "y").Set(7)
+	if gv.With("x", "y").Value() != 7 {
+		t.Fatal("gauge vec lost value")
+	}
+	hv := r.HistogramVec("t_h", "h", nil, "arch")
+	hv.With("GCN").Observe(0.02)
+	if hv.With("GCN").Count() != 1 {
+		t.Fatal("histogram vec lost observation")
+	}
+}
+
+// TestRegistrationConflicts checks kind and label mismatches panic.
+func TestRegistrationConflicts(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_x", "x")
+	for name, fn := range map[string]func(){
+		"kind":   func() { r.Gauge("t_x", "x") },
+		"labels": func() { r.CounterVec("t_x", "x", "arch") },
+		"name":   func() { r.Counter("bad name", "x") },
+		"label":  func() { r.CounterVec("t_y", "y", "bad-label") },
+		"arity":  func() { r.CounterVec("t_z", "z", "a").With("1", "2") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestDisabledFreezesInstruments checks SetEnabled(false) turns every
+// mutation into a no-op — the mechanism behind the notelemetry baseline.
+func TestDisabledFreezesInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_c", "c")
+	g := r.Gauge("t_g", "g")
+	h := r.Histogram("t_h", "h", nil)
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	c.Add(100)
+	g.Set(100)
+	g.Add(100)
+	h.Observe(100)
+	if c.Value() != 1 || g.Value() != 1 || h.Count() != 1 {
+		t.Fatalf("instruments mutated while disabled: c=%d g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+
+	tr := NewTracer(8, 1)
+	if sp := tr.Span(NewTraceID(), "x"); sp != nil {
+		t.Fatal("tracer produced a span while disabled")
+	}
+}
+
+// TestConcurrentInstruments hammers one counter/histogram from many
+// goroutines; run under -race this is the data-race gate for the atomics.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_c", "c")
+	h := r.Histogram("t_h", "h", []float64{0.5})
+	v := r.CounterVec("t_v", "v", "k")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.25)
+				v.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || v.With("a").Value() != 8000 {
+		t.Fatalf("lost updates: c=%d h=%d v=%d", c.Value(), h.Count(), v.With("a").Value())
+	}
+}
